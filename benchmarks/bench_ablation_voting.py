@@ -1,0 +1,61 @@
+"""Ablation: raw majority voting vs appearance-normalised voting (DESIGN.md §5).
+
+Normalising a node's votes by how often sampling actually *included* it
+corrects the participation bias of raw MVA, at the cost of amplifying
+single-appearance noise. The bench scores both over their threshold sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_jd_dataset
+from repro.ensemble import EnsemFDet, EnsemFDetConfig, normalized_majority_vote
+from repro.fdet import FdetConfig
+from repro.metrics import best_f1, curve_from_detections, ensemble_threshold_curve
+from repro.sampling import RandomEdgeSampler
+
+
+@pytest.fixture(scope="module")
+def fitted(preset):
+    dataset = make_jd_dataset(1, scale=preset.dataset_scale, seed=0)
+    config = EnsemFDetConfig(
+        sampler=RandomEdgeSampler(preset.sample_ratio),
+        n_samples=preset.n_samples,
+        fdet=FdetConfig(max_blocks=preset.max_blocks),
+        executor="process",
+        seed=0,
+        track_appearances=True,
+    )
+    return dataset, EnsemFDet(config).fit(dataset.graph)
+
+
+def test_raw_majority_vote(benchmark, fitted):
+    dataset, result = fitted
+    curve = benchmark.pedantic(
+        ensemble_threshold_curve, args=(result, dataset.blacklist), rounds=1, iterations=1
+    )
+    best = best_f1(curve)
+    assert best.f1 > 0.1
+    print()
+    print(f"raw MVA best: F1={best.f1:.4f} at T={best.threshold:.0f}")
+
+
+def test_normalized_vote(benchmark, fitted):
+    dataset, result = fitted
+
+    def sweep():
+        detections = []
+        for percent in range(5, 100, 5):
+            fraction = percent / 100.0
+            detection = normalized_majority_vote(
+                result.vote_table, fraction, min_appearances=2
+            )
+            detections.append((fraction, detection.user_labels.tolist()))
+        return curve_from_detections(detections, dataset.blacklist.labels)
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    best = best_f1(curve)
+    assert best.f1 > 0.1
+    print()
+    print(f"normalized vote best: F1={best.f1:.4f} at fraction={best.threshold:.2f}")

@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 1 (per-block density scores on sampled graphs)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def test_fig1_block_score_curves(benchmark, scale):
+    result = run_once(benchmark, get_experiment("fig1").run, scale=scale, seed=0)
+
+    by_sample = defaultdict(list)
+    for row in result.rows:
+        by_sample[row["sample"]].append(row)
+
+    for sample, rows in by_sample.items():
+        rows.sort(key=lambda r: r["block"])
+        scores = [r["score"] for r in rows]
+        # paper shape: first block clearly denser than the tail floor
+        assert scores[0] == max(scores)
+        if len(scores) >= 3:
+            assert scores[0] > 1.3 * scores[-1], (
+                f"sample {sample}: no cliff between first block and floor"
+            )
+        # k̂ within the paper's observed range (all records < 15)
+        assert 1 <= rows[0]["k_hat"] <= 15
+
+    print()
+    print(result.render(max_rows=30))

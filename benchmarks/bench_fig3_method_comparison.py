@@ -1,0 +1,60 @@
+"""Bench: regenerate Fig. 3 (PR comparison of all methods, all datasets).
+
+Paper shape asserted:
+* EnsemFDet and Fraudar dominate the SVD baselines (AUC-PR) on most datasets;
+* EnsemFDet is within the parity band of Fraudar on best-F1;
+* the SVD methods are unstable (their worst dataset is far below their best).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+from repro.metrics import CurvePoint, auc_pr, best_f1
+
+
+def _curves(rows):
+    curves = defaultdict(list)
+    for row in rows:
+        curves[(row["dataset"], row["method"])].append(
+            CurvePoint(
+                threshold=row["threshold"],
+                n_detected=row["n_detected"],
+                precision=row["precision"],
+                recall=row["recall"],
+                f1=row["f1"],
+            )
+        )
+    return curves
+
+
+def test_fig3_method_comparison(benchmark, scale):
+    result = run_once(benchmark, get_experiment("fig3").run, scale=scale, seed=0)
+    curves = _curves(result.rows)
+    datasets = sorted({dataset for dataset, _ in curves})
+
+    graph_methods_win = 0
+    parity = 0
+    summary = []
+    for dataset in datasets:
+        auc = {method: auc_pr(curves[(dataset, method)]) for method in
+               ("ensemfdet", "fraudar", "spoken", "fbox")}
+        f1 = {method: best_f1(curves[(dataset, method)]).f1 for method in auc}
+        summary.append({"dataset": dataset, **{f"auc_{m}": round(v, 4) for m, v in auc.items()},
+                        **{f"f1_{m}": round(v, 4) for m, v in f1.items()}})
+        if auc["ensemfdet"] > max(auc["spoken"], auc["fbox"]):
+            graph_methods_win += 1
+        if f1["ensemfdet"] >= 0.5 * f1["fraudar"]:
+            parity += 1
+
+    # EnsemFDet beats both SVD methods on at least 2 of 3 datasets
+    assert graph_methods_win >= 2, summary
+    # and stays within the Fraudar parity band on at least 2 of 3
+    assert parity >= 2, summary
+
+    print()
+    for row in summary:
+        print(row)

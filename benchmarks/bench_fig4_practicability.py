@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 4 (smooth curve vs Fraudar's polyline).
+
+Paper shape asserted: EnsemFDet offers strictly more operating points than
+Fraudar and its largest jump in #detected (the "span") is smaller — the
+practicability claim (Fraudar spans ~20k PINs between adjacent points).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def test_fig4_smoothness(benchmark, scale):
+    result = run_once(benchmark, get_experiment("fig4").run, scale=scale, seed=0)
+
+    points = defaultdict(set)
+    for row in result.rows:
+        points[(row["dataset"], row["method"])].add(row["n_detected"])
+
+    gaps = result.meta["gaps"]
+    smoother = 0
+    for dataset, gap in gaps.items():
+        n_ensemble = len(points[(dataset, "ensemfdet")])
+        n_fraudar = len(points[(dataset, "fraudar")])
+        assert n_ensemble > n_fraudar, (dataset, n_ensemble, n_fraudar)
+        if gap["ensemfdet_max_gap"] < gap["fraudar_max_gap"]:
+            smoother += 1
+    # smaller max span on at least 2 of the 3 datasets
+    assert smoother >= 2, gaps
+
+    print()
+    print("max adjacent #detected gaps per dataset:")
+    for dataset, gap in gaps.items():
+        print(f"  {dataset}: ensemfdet={gap['ensemfdet_max_gap']} fraudar={gap['fraudar_max_gap']}")

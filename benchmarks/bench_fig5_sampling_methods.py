@@ -1,0 +1,59 @@
+"""Bench: regenerate Fig. 5 (sampling-method comparison).
+
+Paper shape: Node_Merchant / Two_sides / Random_Edge bagging perform
+similarly (the stability claim), Node_PIN_Bagging is worst.
+
+Reproduced here: all four variants detect far above chance, and the
+merchant/edge/two-side trio stays within a band — the stability claim.
+
+**Documented deviation** (see EXPERIMENTS.md): in our synthetic regime
+PIN-side bagging does *not* collapse. A sampled user keeps every one of its
+edges, so PIN-sampled fraud fragments stay dense whenever fraud users have
+in-block degree ≫ 1 — and φ-detectability itself requires exactly that.
+The paper's PIN collapse is therefore a property of the proprietary JD
+topology (their §IV-A3 premise is ``Davg(U) ∼ 1``) that no φ-detectable
+planted-block surrogate can reproduce mechanically; we assert the robust
+subset and report the full ordering.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+from repro.metrics import CurvePoint, best_f1
+
+
+def test_fig5_sampling_methods(benchmark, scale, preset):
+    result = run_once(benchmark, get_experiment("fig5").run, scale=scale, seed=0)
+
+    curves = defaultdict(list)
+    for row in result.rows:
+        curves[row["sampler"]].append(
+            CurvePoint(
+                threshold=row["threshold"],
+                n_detected=row["n_detected"],
+                precision=row["precision"],
+                recall=row["recall"],
+                f1=row["f1"],
+            )
+        )
+    f1 = {sampler: best_f1(points).f1 for sampler, points in curves.items()}
+    assert len(f1) == 4
+
+    # every variant detects far above chance (chance F1 is ~2x the fraud rate,
+    # i.e. ~0.05 here)
+    for sampler, value in f1.items():
+        assert value > 0.15, (sampler, f1)
+
+    # the paper's stability claim: merchant-side, random-edge and two-side
+    # bagging land in a comparable band
+    trio = [f1["node_merchant_bagging"], f1["random_edge_bagging"], f1["two_sides_bagging"]]
+    assert max(trio) - min(trio) < 0.25, f1
+
+    print()
+    print("best F1 per sampling method (paper ordering: node_pin worst — see EXPERIMENTS.md):")
+    for sampler, value in sorted(f1.items(), key=lambda kv: -kv[1]):
+        print(f"  {sampler}: {value:.4f}")

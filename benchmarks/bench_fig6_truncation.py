@@ -1,0 +1,46 @@
+"""Bench: regenerate Fig. 6 (auto truncating point vs fixed k = 30).
+
+Paper shape asserted: the auto-truncated variant reaches at least the fixed-k
+variant's best F1 (fixed-k recall gains come at near-random precision), and
+every observed k̂ stays below 15 — both paper claims.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+from repro.metrics import CurvePoint, best_f1
+
+
+def test_fig6_truncation(benchmark, scale):
+    result = run_once(benchmark, get_experiment("fig6").run, scale=scale, seed=0)
+
+    curves = defaultdict(list)
+    for row in result.rows:
+        curves[row["variant"]].append(
+            CurvePoint(
+                threshold=row["threshold"],
+                n_detected=row["n_detected"],
+                precision=row["precision"],
+                recall=row["recall"],
+                f1=row["f1"],
+            )
+        )
+    variants = sorted(curves)
+    auto = next(v for v in variants if v.startswith("auto"))
+    fixed = next(v for v in variants if v.startswith("fixed"))
+
+    auto_best = best_f1(curves[auto])
+    fixed_best = best_f1(curves[fixed])
+    assert auto_best.f1 >= fixed_best.f1 - 0.03, (auto_best, fixed_best)
+
+    # the paper reports every observed k̂ < 15
+    assert result.meta["max_observed_k_hat"] < 15, result.meta
+
+    print()
+    print(f"auto best F1:  {auto_best.f1:.4f} (P={auto_best.precision:.3f} R={auto_best.recall:.3f})")
+    print(f"fixed best F1: {fixed_best.f1:.4f} (P={fixed_best.precision:.3f} R={fixed_best.recall:.3f})")
+    print(f"k-hat distribution: {result.meta['k_hat_distribution']}")

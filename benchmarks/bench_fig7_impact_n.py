@@ -1,0 +1,41 @@
+"""Bench: regenerate Fig. 7 (impact of the ensemble size N).
+
+Paper shape asserted: best F1 does not degrade as N grows, the largest N is
+at least as good as the smallest, and the whole sweep stays in a narrow band
+(the stability claim: N=40 vs N=80 nearly indistinguishable).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+from repro.metrics import CurvePoint, best_f1
+
+
+def test_fig7_impact_of_n(benchmark, scale):
+    result = run_once(benchmark, get_experiment("fig7").run, scale=scale, seed=0)
+
+    curves = defaultdict(list)
+    for row in result.rows:
+        curves[row["n_samples"]].append(
+            CurvePoint(
+                threshold=row["threshold"],
+                n_detected=row["n_detected"],
+                precision=row["precision"],
+                recall=row["recall"],
+                f1=row["f1"],
+            )
+        )
+    f1_by_n = {n: best_f1(points).f1 for n, points in sorted(curves.items())}
+    ns = sorted(f1_by_n)
+
+    # more samples should not hurt (small tolerance for sampling noise)
+    assert f1_by_n[ns[-1]] >= f1_by_n[ns[0]] - 0.05, f1_by_n
+    # stability: the whole sweep sits in a narrow band
+    assert max(f1_by_n.values()) - min(f1_by_n.values()) <= 0.25, f1_by_n
+
+    print()
+    print("best F1 per N:", {n: round(v, 4) for n, v in f1_by_n.items()})

@@ -1,0 +1,42 @@
+"""Bench: regenerate Fig. 8 (impact of the sample ratio S at fixed S×N).
+
+Paper shape asserted: larger S helps somewhat, smaller S stays close (the
+stability-under-subsampling claim) — asserted as a bounded degradation from
+the largest to the smallest ratio in the sweep.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+from repro.metrics import CurvePoint, best_f1
+
+
+def test_fig8_impact_of_s(benchmark, scale):
+    result = run_once(benchmark, get_experiment("fig8").run, scale=scale, seed=0)
+
+    curves = defaultdict(list)
+    for row in result.rows:
+        curves[row["sample_ratio"]].append(
+            CurvePoint(
+                threshold=row["threshold"],
+                n_detected=row["n_detected"],
+                precision=row["precision"],
+                recall=row["recall"],
+                f1=row["f1"],
+            )
+        )
+    f1_by_s = {s: best_f1(points).f1 for s, points in sorted(curves.items())}
+    ratios = sorted(f1_by_s)
+
+    # the largest ratio performs at least as well as the smallest (paper: rising S helps)
+    assert f1_by_s[ratios[-1]] >= f1_by_s[ratios[0]] - 0.05, f1_by_s
+    # stability: even the smallest S keeps a sizeable share of the best F1
+    best = max(f1_by_s.values())
+    assert min(f1_by_s.values()) >= 0.35 * best, f1_by_s
+
+    print()
+    print("best F1 per S:", {s: round(v, 4) for s, v in f1_by_s.items()})

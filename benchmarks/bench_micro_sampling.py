@@ -1,0 +1,33 @@
+"""Microbenchmark: sampler throughput (RES / ONS / TNS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import chung_lu_bipartite
+from repro.sampling import (
+    OneSideNodeSampler,
+    RandomEdgeSampler,
+    Side,
+    TwoSideNodeSampler,
+)
+
+SAMPLERS = {
+    "res": lambda: RandomEdgeSampler(0.1),
+    "ons_merchant": lambda: OneSideNodeSampler(0.1, Side.MERCHANT),
+    "ons_user": lambda: OneSideNodeSampler(0.1, Side.USER),
+    "tns": lambda: TwoSideNodeSampler(0.3),
+}
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    return chung_lu_bipartite(50_000, 20_000, 150_000, rng=0)
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLERS))
+def test_sampler_throughput(benchmark, big_graph, name):
+    sampler = SAMPLERS[name]()
+    sub = benchmark(sampler.sample, big_graph, 0)
+    assert sub.n_edges > 0
+    assert sub.n_edges < big_graph.n_edges

@@ -1,0 +1,42 @@
+"""Bench: the paper's *stability* claim, quantified across seeds.
+
+§V concludes EnsemFDet is "effective, practical, scalable and stable". The
+parameter sweeps (Figs. 7–9) cover stability across N/S/T; this bench covers
+the remaining axis — randomness of the sampling itself: independent seeds
+must produce strongly-overlapping detections and a tight best-F1 band.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.datasets import make_jd_dataset
+from repro.ensemble import EnsemFDetConfig
+from repro.fdet import FdetConfig
+from repro.metrics import seed_sweep_stability
+from repro.sampling import RandomEdgeSampler
+
+
+def test_stability_across_seeds(benchmark, preset):
+    dataset = make_jd_dataset(1, scale=preset.dataset_scale, seed=0)
+    config = EnsemFDetConfig(
+        sampler=RandomEdgeSampler(preset.sample_ratio),
+        n_samples=preset.n_samples,
+        fdet=FdetConfig(max_blocks=preset.max_blocks),
+        executor="process",
+    )
+    summary = run_once(
+        benchmark,
+        seed_sweep_stability,
+        dataset.graph,
+        dataset.blacklist,
+        config,
+        seeds=[1, 2, 3, 4],
+        threshold=max(1, preset.n_samples // 4),
+    )
+    # detections overlap strongly across seeds, and quality stays in a band
+    assert summary["detection_jaccard"] > 0.5, summary
+    assert summary["f1_spread"] < 0.15, summary
+    print()
+    print(f"seed stability: jaccard={summary['detection_jaccard']:.3f} "
+          f"f1_mean={summary['f1_mean']:.3f} f1_spread={summary['f1_spread']:.3f}")

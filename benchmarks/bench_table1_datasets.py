@@ -1,0 +1,25 @@
+"""Bench: regenerate Table I (dataset statistics)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def test_table1_dataset_statistics(benchmark, scale):
+    result = run_once(benchmark, get_experiment("table1").run, scale=scale, seed=0)
+    rows = {row["dataset"].split("@")[0]: row for row in result.rows}
+
+    # Table I shape: dataset sizes ordered jd1 < jd2 < jd3 in users and edges
+    assert rows["jd1"]["node_pin"] < rows["jd2"]["node_pin"] < rows["jd3"]["node_pin"]
+    assert rows["jd1"]["edge"] < rows["jd2"]["edge"] < rows["jd3"]["edge"]
+
+    # fraud-fraction ordering mirrors the paper: jd1 (5.3%) > jd3 (2.3%) > jd2 (0.7%)
+    fraction = {
+        name: row["fraud_pin"] / row["node_pin"] for name, row in rows.items()
+    }
+    assert fraction["jd1"] > fraction["jd3"] > fraction["jd2"]
+
+    print()
+    print(result.render())

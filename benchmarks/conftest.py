@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_<expid>`` module regenerates one paper table/figure: it times
+the experiment (one round — these are minutes-scale workloads, not
+microbenchmarks), asserts the paper's qualitative *shape*, and prints the
+series so the numbers can be eyeballed against the paper.
+
+Scale is controlled with ``REPRO_BENCH_SCALE`` (tiny/small/full, default
+small — see ``repro.experiments.base.SCALES``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import SCALES
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The benchmark scale preset name."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def preset():
+    """The resolved scale preset."""
+    return SCALES[bench_scale()]
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time ``func`` exactly once (rounds=1) and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

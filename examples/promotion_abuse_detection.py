@@ -1,0 +1,87 @@
+"""Promotion-abuse detection on a JD-like transaction snapshot.
+
+The scenario from the paper's introduction: an e-commerce platform runs a
+discount campaign; fraud rings register batches of accounts that make bulk
+purchases at a small set of colluding merchants. This example generates a
+realistic (heavy-tailed, label-noisy) snapshot and compares all four
+detection methods the paper evaluates.
+
+Run with::
+
+    python examples/promotion_abuse_detection.py [--scale 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    EnsemFDet,
+    EnsemFDetConfig,
+    FBoxDetector,
+    FraudarDetector,
+    RandomEdgeSampler,
+    SpokenDetector,
+    auc_pr,
+    best_f1,
+    ensemble_threshold_curve,
+    fraudar_block_curve,
+    make_jd_dataset,
+    score_curve,
+)
+from repro.fdet import FdetConfig
+from repro.parallel import time_callable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3, help="dataset scale (1.0 = 1/50 of the paper)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = make_jd_dataset(1, scale=args.scale, seed=args.seed)
+    graph, blacklist = dataset.graph, dataset.blacklist
+    print(f"dataset {dataset.name}: {graph.n_users} PINs, {graph.n_merchants} merchants, "
+          f"{graph.n_edges} purchases, {len(blacklist)} blacklisted PINs")
+    print("note: the blacklist is noisy (manual-review noise), so no method can reach F1=1\n")
+
+    rows = []
+
+    # EnsemFDet — sample, detect in parallel, vote
+    config = EnsemFDetConfig(
+        sampler=RandomEdgeSampler(0.25),
+        n_samples=16,
+        fdet=FdetConfig(max_blocks=12),
+        executor="process",
+        seed=args.seed,
+    )
+    timing = time_callable(EnsemFDet(config).fit, graph)
+    curve = ensemble_threshold_curve(timing.value, blacklist)
+    rows.append(("EnsemFDet", curve, timing.seconds))
+
+    # Fraudar — sequential dense-block extraction on the full graph
+    timing = time_callable(FraudarDetector(n_blocks=12).detect, graph)
+    rows.append(("Fraudar", fraudar_block_curve(timing.value, blacklist), timing.seconds))
+
+    # SpokEn — SVD eigenspokes
+    timing = time_callable(SpokenDetector(n_components=25).score_users, graph)
+    rows.append(("SpokEn", score_curve(graph, timing.value, blacklist), timing.seconds))
+
+    # FBox — SVD reconstruction error
+    timing = time_callable(FBoxDetector(n_components=25).score_users, graph)
+    rows.append(("FBox", score_curve(graph, timing.value, blacklist), timing.seconds))
+
+    print(f"{'method':<10} {'best F1':>8} {'precision':>10} {'recall':>8} {'AUC-PR':>8} {'seconds':>8}")
+    for name, curve, seconds in rows:
+        best = best_f1(curve)
+        print(
+            f"{name:<10} {best.f1:8.3f} {best.precision:10.3f} {best.recall:8.3f} "
+            f"{auc_pr(curve):8.3f} {seconds:8.2f}"
+        )
+
+    print("\nexpected shape (paper Fig. 3): EnsemFDet ~ Fraudar >> SpokEn, FBox;")
+    print("EnsemFDet's curve has one point per threshold T — Fraudar only one per block.")
+
+
+if __name__ == "__main__":
+    main()

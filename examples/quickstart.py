@@ -1,0 +1,68 @@
+"""Quickstart: detect planted fraud rings in a small transaction graph.
+
+Builds the bundled toy dataset (a sparse purchase graph with three planted
+fraud blocks), runs EnsemFDet, and evaluates against the ground truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EnsemFDet,
+    EnsemFDetConfig,
+    RandomEdgeSampler,
+    best_f1,
+    ensemble_threshold_curve,
+    toy_dataset,
+)
+from repro.fdet import FdetConfig
+
+
+def main() -> None:
+    # 1. data: ~650 users x ~430 merchants, three dense fraud blocks planted
+    dataset = toy_dataset(seed=0)
+    graph = dataset.graph
+    print(f"graph: {graph.n_users} users, {graph.n_merchants} merchants, {graph.n_edges} edges")
+    print(f"ground truth: {len(dataset.blacklist)} blacklisted users\n")
+
+    # 2. configure the ensemble: sample 40% of edges, 24 times, FDET each
+    config = EnsemFDetConfig(
+        sampler=RandomEdgeSampler(0.4),   # sampling method M with ratio S
+        n_samples=24,                     # ensemble size N
+        fdet=FdetConfig(max_blocks=8),    # blocks per sampled graph before truncation
+        executor="process",               # the N detections run in parallel
+        seed=0,
+    )
+    result = EnsemFDet(config).fit(graph)
+    print(
+        f"fitted in {result.total_seconds:.2f}s "
+        f"(sampling {result.sampling_seconds:.2f}s + detection {result.detection_seconds:.2f}s)"
+    )
+
+    # 3. pick an operating point: sweep the voting threshold T
+    curve = ensemble_threshold_curve(result, dataset.blacklist)
+    print("\n T  detected  precision  recall    F1")
+    for point in curve:
+        if point.n_detected == 0:
+            continue
+        marker = ""
+        print(
+            f"{point.threshold:3.0f}  {point.n_detected:8d}  {point.precision:9.3f}"
+            f"  {point.recall:6.3f}  {point.f1:5.3f}{marker}"
+        )
+
+    best = best_f1(curve)
+    print(f"\nbest operating point: T={best.threshold:.0f} -> F1={best.f1:.3f}")
+
+    # 4. final detection at the chosen threshold
+    detection = result.detect(int(best.threshold))
+    print(f"flagged users: {detection.n_users}, flagged merchants: {detection.n_merchants}")
+    hits = detection.user_set() & dataset.blacklist.labels
+    print(f"true positives among flagged users: {len(hits)}")
+
+
+if __name__ == "__main__":
+    main()

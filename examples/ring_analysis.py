@@ -1,0 +1,92 @@
+"""Post-detection ring analysis: from flagged users to fraud-group structure.
+
+Detection gives a flat set of suspicious PINs; investigators want the
+*groups*. This example chains three views the library provides:
+
+1. EnsemFDet soft votes — a continuous suspiciousness score per PIN
+   (block-density-weighted voting, finer than integer vote counts);
+2. the user-user co-purchase projection — fraud rings appear as near-cliques
+   among the flagged users;
+3. connected components of the flagged subgraph — the recovered groups,
+   compared against the planted ones.
+
+Run with::
+
+    python examples/ring_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EnsemFDet, EnsemFDetConfig, RandomEdgeSampler, toy_dataset
+from repro.ensemble import soft_threshold_sweep, soft_votes_from_detections
+from repro.fdet import FdetConfig
+from repro.graph import connected_components, project_users
+
+
+def main() -> None:
+    dataset = toy_dataset(seed=0)
+    graph = dataset.graph
+
+    # 1. fit the ensemble and accumulate density-weighted votes
+    config = EnsemFDetConfig(
+        sampler=RandomEdgeSampler(0.4),
+        n_samples=24,
+        fdet=FdetConfig(max_blocks=8),
+        executor="process",
+        seed=0,
+    )
+    result = EnsemFDet(config).fit(graph)
+    table = soft_votes_from_detections(list(result.sample_detections))
+
+    print("top-10 suspicious PINs by soft score:")
+    ranked = sorted(table.user_scores.items(), key=lambda kv: -kv[1])
+    truth = set(dataset.clean_fraud_labels.tolist())
+    for label, score in ranked[:10]:
+        tag = "FRAUD" if label in truth else "     "
+        print(f"  pin {label:4d}  score={score:6.2f}  {tag}")
+
+    # 2. choose an operating point on the soft sweep (aim: high precision)
+    sweep = soft_threshold_sweep(table, n_points=30)
+    flagged = None
+    for threshold, detection in reversed(sweep):  # strictest first
+        if detection.n_users >= 40:
+            flagged = detection
+            print(f"\noperating point: soft threshold {threshold:.2f} "
+                  f"-> {detection.n_users} flagged PINs")
+            break
+    if flagged is None:
+        threshold, flagged = sweep[0]
+        print(f"\nfallback operating point: {threshold:.2f}")
+
+    # 3. group structure: flagged-user co-purchase subgraph components
+    flagged_users = flagged.user_labels
+    sub = graph.induced_subgraph(users=flagged_users)
+    user_comp, _, n_components = connected_components(sub)
+    print(f"flagged subgraph: {sub.n_users} PINs across {n_components} components")
+
+    groups: dict[int, list[int]] = {}
+    for local, component in enumerate(user_comp.tolist()):
+        groups.setdefault(component, []).append(int(sub.user_labels[local]))
+    big_groups = [members for members in groups.values() if len(members) >= 5]
+    big_groups.sort(key=len, reverse=True)
+
+    print(f"\nrecovered groups (>=5 members): {len(big_groups)} "
+          f"(planted rings: 3)")
+    for i, members in enumerate(big_groups):
+        overlap = len(set(members) & truth)
+        print(f"  group {i}: {len(members)} PINs, {overlap} planted fraud")
+
+    # 4. ring cohesion in the co-purchase projection
+    projection = project_users(graph, max_merchant_degree=50)
+    for i, members in enumerate(big_groups[:3]):
+        idx = np.array(members)
+        block = projection[np.ix_(idx, idx)]
+        n = idx.size
+        density = block.nnz / (n * (n - 1)) if n > 1 else 0.0
+        print(f"  group {i} co-purchase clique density: {density:.2f}")
+
+
+if __name__ == "__main__":
+    main()

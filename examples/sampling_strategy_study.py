@@ -1,0 +1,68 @@
+"""Choosing a sampling strategy for a new graph (paper §IV-A).
+
+Given an unfamiliar bipartite graph, which side should one-side node
+sampling pick, and how do the samplers compare on (a) how much structure a
+sample retains and (b) end-task detection quality? This example walks the
+paper's "task-oriented" and "retain topology" principles on a JD-like
+dataset.
+
+Run with::
+
+    python examples/sampling_strategy_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EnsemFDet,
+    EnsemFDetConfig,
+    best_f1,
+    ensemble_threshold_curve,
+    make_jd_dataset,
+    make_sampler,
+)
+from repro.fdet import FdetConfig
+from repro.graph import describe
+from repro.sampling import PAPER_FIG5_NAMES, recommend_side
+
+RATIO = 0.25
+N_SAMPLES = 16
+
+
+def main() -> None:
+    dataset = make_jd_dataset(3, scale=0.2, seed=0)
+    graph = dataset.graph
+    stats = describe(graph)
+    print(f"dataset {dataset.name}:")
+    print(f"  avg PIN degree      = {stats.avg_user_degree:.2f}")
+    print(f"  avg merchant degree = {stats.avg_merchant_degree:.2f}")
+    print(f"  recommended ONS side (retain-topology rule): {recommend_side(graph)!r}\n")
+
+    print(f"{'sampler':<24} {'sample edges':>12} {'sample nodes':>12} {'best F1':>8}")
+    for name in PAPER_FIG5_NAMES:
+        sampler = make_sampler(name, RATIO)
+
+        # (a) what one sample retains
+        sample = sampler.sample(graph, rng=0)
+
+        # (b) end-task quality through the full ensemble
+        config = EnsemFDetConfig(
+            sampler=sampler,
+            n_samples=N_SAMPLES,
+            fdet=FdetConfig(max_blocks=12),
+            executor="process",
+            seed=0,
+        )
+        result = EnsemFDet(config).fit(graph)
+        best = best_f1(ensemble_threshold_curve(result, dataset.blacklist))
+        print(f"{name:<24} {sample.n_edges:>12} {sample.n_nodes:>12} {best.f1:>8.3f}")
+
+    print(
+        "\nnotes: two-side sampling keeps ~S^2 of the edges at ratio S (needs a larger"
+        "\nS or more samples); merchant-side samples can exceed S x |E| because popular"
+        "\nmerchants drag in whole crowds — exactly the trade-offs of paper §IV-A."
+    )
+
+
+if __name__ == "__main__":
+    main()

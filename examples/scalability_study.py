@@ -1,0 +1,68 @@
+"""Scalability study: EnsemFDet vs Fraudar as the graph grows (Table III).
+
+Measures wall-clock of both methods across dataset sizes and executor
+backends, reporting the speedup and the theoretical ``S x T(Fraudar)``
+bound from the paper.
+
+Run with::
+
+    python examples/scalability_study.py [--sizes 0.1 0.2 0.4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import EnsemFDet, EnsemFDetConfig, FraudarDetector, RandomEdgeSampler, make_jd_dataset
+from repro.fdet import FdetConfig
+from repro.parallel import ExecutorMode, time_callable
+
+SAMPLE_RATIO = 0.2
+N_SAMPLES = 16
+
+
+def run_ensemble(graph, executor: str) -> float:
+    config = EnsemFDetConfig(
+        sampler=RandomEdgeSampler(SAMPLE_RATIO),
+        n_samples=N_SAMPLES,
+        fdet=FdetConfig(max_blocks=12),
+        executor=executor,
+        seed=0,
+    )
+    return time_callable(EnsemFDet(config).fit, graph).seconds
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=float, nargs="+", default=[0.1, 0.2, 0.4])
+    args = parser.parse_args()
+
+    header = (f"{'scale':>6} {'edges':>9} {'fraudar_s':>10} {'serial_s':>9} "
+              f"{'process_s':>10} {'speedup':>8} {'S*fraudar':>10}")
+    print(header)
+    print("-" * len(header))
+    for scale in args.sizes:
+        dataset = make_jd_dataset(3, scale=scale, seed=0)
+        graph = dataset.graph
+
+        fraudar_s = time_callable(
+            FraudarDetector(n_blocks=12).detect, graph
+        ).seconds
+        serial_s = run_ensemble(graph, ExecutorMode.SERIAL)
+        process_s = run_ensemble(graph, ExecutorMode.PROCESS)
+
+        print(
+            f"{scale:>6.2f} {graph.n_edges:>9} {fraudar_s:>10.2f} {serial_s:>9.2f} "
+            f"{process_s:>10.2f} {fraudar_s / process_s:>8.2f} "
+            f"{SAMPLE_RATIO * fraudar_s:>10.2f}"
+        )
+
+    print(
+        "\nthe paper's bound: Time(EnsemFDet) < S x Time(Fraudar) once the pool"
+        "\namortises its overhead — watch the last two columns converge as the"
+        "\ngraph grows (paper Table III reports ~10x at their 50x-larger scale)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Tuning the voting threshold T as a business knob (paper §V-D3).
+
+A risk-control team has two regimes:
+
+* **conservative** — flagged accounts are frozen automatically, so false
+  positives are expensive: pick the smallest detection set whose precision
+  clears a floor;
+* **aggressive** — flagged accounts only go to manual review, so recall is
+  what matters: pick the largest set whose precision stays above a (lower)
+  floor.
+
+Because EnsemFDet's precision rises and recall falls *monotonically* with
+T (paper Fig. 9), both picks are simple scans over one smooth curve — the
+practicability property Fraudar lacks.
+
+Run with::
+
+    python examples/threshold_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EnsemFDet,
+    EnsemFDetConfig,
+    RandomEdgeSampler,
+    ensemble_threshold_curve,
+    make_jd_dataset,
+)
+from repro.fdet import FdetConfig
+from repro.metrics import CurvePoint
+
+
+def pick_conservative(curve: list[CurvePoint], precision_floor: float) -> CurvePoint | None:
+    """Highest-precision point above the floor with the *fewest* flags."""
+    eligible = [p for p in curve if p.precision >= precision_floor and p.n_detected > 0]
+    return min(eligible, key=lambda p: p.n_detected) if eligible else None
+
+
+def pick_aggressive(curve: list[CurvePoint], precision_floor: float) -> CurvePoint | None:
+    """Largest detection set whose precision still clears the floor."""
+    eligible = [p for p in curve if p.precision >= precision_floor and p.n_detected > 0]
+    return max(eligible, key=lambda p: p.recall) if eligible else None
+
+
+def main() -> None:
+    dataset = make_jd_dataset(2, scale=0.3, seed=0)
+    print(f"dataset {dataset.name}: {dataset.graph.n_users} PINs, "
+          f"{len(dataset.blacklist)} blacklisted\n")
+
+    config = EnsemFDetConfig(
+        sampler=RandomEdgeSampler(0.25),
+        n_samples=20,
+        fdet=FdetConfig(max_blocks=12),
+        executor="process",
+        seed=0,
+    )
+    result = EnsemFDet(config).fit(dataset.graph)
+    curve = ensemble_threshold_curve(result, dataset.blacklist)
+
+    print(" T  detected  precision  recall")
+    for point in curve:
+        if point.n_detected:
+            print(f"{point.threshold:3.0f}  {point.n_detected:8d}  "
+                  f"{point.precision:9.3f}  {point.recall:6.3f}")
+
+    conservative = pick_conservative(curve, precision_floor=0.25)
+    aggressive = pick_aggressive(curve, precision_floor=0.15)
+
+    print("\nregime picks:")
+    if conservative:
+        print(f"  conservative (P >= 0.25): T={conservative.threshold:.0f} -> "
+              f"{conservative.n_detected} flags, P={conservative.precision:.3f}, "
+              f"R={conservative.recall:.3f}")
+    if aggressive:
+        print(f"  aggressive   (P >= 0.15): T={aggressive.threshold:.0f} -> "
+              f"{aggressive.n_detected} flags, P={aggressive.precision:.3f}, "
+              f"R={aggressive.recall:.3f}")
+
+    # sanity: the monotonicity that makes these scans valid
+    recalls = [p.recall for p in curve]
+    assert recalls == sorted(recalls, reverse=True), "recall must fall with T"
+    print("\nrecall is monotone in T — the curve is a safe tuning surface.")
+
+
+if __name__ == "__main__":
+    main()

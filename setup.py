@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+This environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs (which need ``bdist_wheel``) fail. Keeping a ``setup.py``
+lets ``pip install -e . --no-build-isolation`` use the legacy
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,118 @@
+"""EnsemFDet reproduction: ensemble fraud detection on bipartite graphs.
+
+Reproduction of Ren et al., *"EnsemFDet: An Ensemble Approach to Fraud
+Detection based on Bipartite Graph"* (ICDE 2021). See DESIGN.md for the
+system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import EnsemFDet, EnsemFDetConfig, RandomEdgeSampler, toy_dataset
+
+    dataset = toy_dataset()
+    config = EnsemFDetConfig(sampler=RandomEdgeSampler(0.2), n_samples=20, seed=0)
+    result = EnsemFDet(config).fit(dataset.graph)
+    flagged = result.detect(threshold=10)
+    print(f"flagged {flagged.n_users} suspicious users")
+"""
+
+from .baselines import DegreeDetector, FBoxDetector, FraudarDetector, SpokenDetector
+from .datasets import (
+    Blacklist,
+    Dataset,
+    FraudBlockSpec,
+    chung_lu_bipartite,
+    inject_fraud_blocks,
+    make_all_jd_datasets,
+    make_jd_dataset,
+    toy_dataset,
+)
+from .ensemble import (
+    DetectionResult,
+    EnsemFDet,
+    EnsemFDetConfig,
+    EnsemFDetResult,
+    VoteTable,
+    majority_vote,
+)
+from .errors import ReproError
+from .fdet import (
+    Fdet,
+    FdetConfig,
+    FdetResult,
+    FixedKRule,
+    LogWeightedDensity,
+    SecondDifferenceRule,
+)
+from .graph import BipartiteGraph, GraphBuilder
+from .metrics import (
+    Confusion,
+    CurvePoint,
+    auc_pr,
+    best_f1,
+    confusion_from_sets,
+    ensemble_threshold_curve,
+    fraudar_block_curve,
+    max_detected_gap,
+    score_curve,
+)
+from .sampling import (
+    OneSideNodeSampler,
+    RandomEdgeSampler,
+    Sampler,
+    TwoSideNodeSampler,
+    make_sampler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # graph
+    "BipartiteGraph",
+    "GraphBuilder",
+    # sampling
+    "Sampler",
+    "RandomEdgeSampler",
+    "OneSideNodeSampler",
+    "TwoSideNodeSampler",
+    "make_sampler",
+    # fdet
+    "Fdet",
+    "FdetConfig",
+    "FdetResult",
+    "LogWeightedDensity",
+    "SecondDifferenceRule",
+    "FixedKRule",
+    # ensemble
+    "EnsemFDet",
+    "EnsemFDetConfig",
+    "EnsemFDetResult",
+    "DetectionResult",
+    "VoteTable",
+    "majority_vote",
+    # baselines
+    "FraudarDetector",
+    "SpokenDetector",
+    "FBoxDetector",
+    "DegreeDetector",
+    # datasets
+    "Dataset",
+    "Blacklist",
+    "FraudBlockSpec",
+    "inject_fraud_blocks",
+    "chung_lu_bipartite",
+    "make_jd_dataset",
+    "make_all_jd_datasets",
+    "toy_dataset",
+    # metrics
+    "Confusion",
+    "confusion_from_sets",
+    "CurvePoint",
+    "ensemble_threshold_curve",
+    "fraudar_block_curve",
+    "score_curve",
+    "auc_pr",
+    "best_f1",
+    "max_detected_gap",
+]

@@ -1,0 +1,16 @@
+"""Comparison methods from the paper's evaluation (§V-B2)."""
+
+from .degree import DegreeDetector
+from .fbox import FBoxDetector, FBoxScores
+from .fraudar import FraudarDetector, FraudarResult
+from .spoken import SpokenDetector, SpokenScores
+
+__all__ = [
+    "FraudarDetector",
+    "FraudarResult",
+    "SpokenDetector",
+    "SpokenScores",
+    "FBoxDetector",
+    "FBoxScores",
+    "DegreeDetector",
+]

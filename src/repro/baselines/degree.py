@@ -1,0 +1,34 @@
+"""Naive degree baseline — sanity floor for every comparison.
+
+Fraud rings make bulk purchases, so simply ranking users by purchase count is
+the cheapest conceivable detector. Any graph-structure method that cannot
+beat it is not extracting structure. Not part of the paper's comparison set;
+included as an engineering control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import BipartiteGraph
+
+__all__ = ["DegreeDetector"]
+
+
+class DegreeDetector:
+    """Rank users by (optionally weighted) degree."""
+
+    def __init__(self, weighted: bool = False) -> None:
+        self.weighted = bool(weighted)
+
+    def score_users(self, graph: BipartiteGraph) -> np.ndarray:
+        """Suspiciousness = number (or weight) of purchases."""
+        if self.weighted:
+            return graph.weighted_user_degrees()
+        return graph.user_degrees().astype(np.float64)
+
+    def top_users(self, graph: BipartiteGraph, n: int) -> np.ndarray:
+        """Local indices of the ``n`` busiest users."""
+        scores = self.score_users(graph)
+        n = min(n, scores.size)
+        return np.argsort(-scores, kind="stable")[:n]

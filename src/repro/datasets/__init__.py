@@ -1,0 +1,34 @@
+"""Synthetic transaction datasets standing in for the JD.com data."""
+
+from .blacklist import Blacklist
+from .injection import FraudBlockSpec, InjectionResult, inject_fraud_blocks
+from .jd_like import (
+    Dataset,
+    JD_CONFIGS,
+    JdConfig,
+    make_all_jd_datasets,
+    make_jd_dataset,
+)
+from .loaders import load_dataset, save_dataset, toy_dataset
+from .stats import dataset_row, datasets_table
+from .synthetic import chung_lu_bipartite, powerlaw_weights, uniform_bipartite
+
+__all__ = [
+    "Blacklist",
+    "FraudBlockSpec",
+    "InjectionResult",
+    "inject_fraud_blocks",
+    "Dataset",
+    "JdConfig",
+    "JD_CONFIGS",
+    "make_jd_dataset",
+    "make_all_jd_datasets",
+    "save_dataset",
+    "load_dataset",
+    "toy_dataset",
+    "dataset_row",
+    "datasets_table",
+    "chung_lu_bipartite",
+    "uniform_bipartite",
+    "powerlaw_weights",
+]

@@ -1,0 +1,23 @@
+"""Dataset statistics tables (the reproduction's Table I)."""
+
+from __future__ import annotations
+
+from .jd_like import Dataset
+
+__all__ = ["dataset_row", "datasets_table"]
+
+
+def dataset_row(dataset: Dataset) -> dict[str, int | str]:
+    """One row in the Table-I layout: PINs, fraud PINs, merchants, edges."""
+    return {
+        "dataset": dataset.name,
+        "node_pin": dataset.graph.n_users,
+        "fraud_pin": dataset.n_blacklisted,
+        "node_merchant": dataset.graph.n_merchants,
+        "edge": dataset.graph.n_edges,
+    }
+
+
+def datasets_table(datasets: list[Dataset]) -> list[dict[str, int | str]]:
+    """Table-I rows for several datasets."""
+    return [dataset_row(dataset) for dataset in datasets]

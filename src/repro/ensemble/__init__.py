@@ -1,0 +1,22 @@
+"""EnsemFDet ensemble framework (paper §IV-C)."""
+
+from .ensemfdet import EnsemFDet, EnsemFDetConfig, EnsemFDetResult
+from .results import DetectionResult
+from .runner import SampleDetection, detect_on_samples
+from .soft_voting import SoftVoteTable, soft_threshold_sweep, soft_votes_from_detections
+from .voting import VoteTable, majority_vote, normalized_majority_vote
+
+__all__ = [
+    "EnsemFDet",
+    "EnsemFDetConfig",
+    "EnsemFDetResult",
+    "DetectionResult",
+    "SampleDetection",
+    "detect_on_samples",
+    "VoteTable",
+    "majority_vote",
+    "normalized_majority_vote",
+    "SoftVoteTable",
+    "soft_votes_from_detections",
+    "soft_threshold_sweep",
+]

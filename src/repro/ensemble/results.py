@@ -1,0 +1,47 @@
+"""Result containers for ensemble detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DetectionResult"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Final output of a fraud detector: the flagged node labels.
+
+    ``user_labels`` / ``merchant_labels`` are sorted unique global labels of
+    the original graph (the paper's ``U_final`` and ``V_final``).
+    """
+
+    user_labels: np.ndarray
+    merchant_labels: np.ndarray
+
+    @property
+    def n_users(self) -> int:
+        """Number of flagged users (detected PINs)."""
+        return int(self.user_labels.size)
+
+    @property
+    def n_merchants(self) -> int:
+        """Number of flagged merchants."""
+        return int(self.merchant_labels.size)
+
+    def user_set(self) -> set[int]:
+        """Flagged users as a python set (handy for metric code)."""
+        return set(self.user_labels.tolist())
+
+    def merchant_set(self) -> set[int]:
+        """Flagged merchants as a python set."""
+        return set(self.merchant_labels.tolist())
+
+    @classmethod
+    def empty(cls) -> "DetectionResult":
+        """A detection that flagged nothing."""
+        return cls(
+            user_labels=np.empty(0, dtype=np.int64),
+            merchant_labels=np.empty(0, dtype=np.int64),
+        )

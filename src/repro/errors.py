@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` from bad
+call signatures, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to bipartite graph construction/use."""
+
+
+class GraphValidationError(GraphError):
+    """A graph's internal arrays are inconsistent (bad indices, lengths...)."""
+
+
+class EmptyGraphError(GraphError):
+    """An operation that requires at least one edge received an empty graph."""
+
+
+class SamplingError(ReproError):
+    """A sampler was configured with invalid parameters."""
+
+
+class DetectionError(ReproError):
+    """A detector (FDET, baseline) was configured or invoked incorrectly."""
+
+
+class AggregationError(ReproError):
+    """Vote aggregation received inconsistent inputs."""
+
+
+class DatasetError(ReproError):
+    """Synthetic dataset generation or loading failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured incorrectly."""

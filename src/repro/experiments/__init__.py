@@ -1,0 +1,17 @@
+"""Experiment drivers — one per table/figure of the paper (see DESIGN.md §4)."""
+
+from .base import SCALES, Experiment, ExperimentResult, ScalePreset, render_table
+from .registry import EXPERIMENTS, all_experiment_ids, get_experiment
+from .runner import run_experiments
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ScalePreset",
+    "SCALES",
+    "render_table",
+    "EXPERIMENTS",
+    "get_experiment",
+    "all_experiment_ids",
+    "run_experiments",
+]

@@ -1,0 +1,192 @@
+"""Experiment-driver infrastructure.
+
+One :class:`Experiment` subclass per paper table/figure. Each ``run`` returns
+an :class:`ExperimentResult` — a list of flat row dicts (the numbers the
+paper plots) plus provenance metadata — which can be rendered as an ASCII
+table or dumped to CSV/JSON under ``results/``.
+
+Experiments accept a :class:`ScalePreset` so the same driver serves CI
+("tiny"), the benchmark suite ("small") and a faithful-parameters run
+("full", paper's N=80 etc. on the 1/50-scale datasets).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import ExperimentError
+
+__all__ = ["ScalePreset", "SCALES", "ExperimentResult", "Experiment", "render_table"]
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Knobs that trade fidelity for runtime.
+
+    Attributes
+    ----------
+    name:
+        Preset id ("tiny" / "small" / "full").
+    dataset_scale:
+        Multiplier on the JD-like dataset sizes (1.0 = 1/50 of the paper).
+    n_samples:
+        Ensemble size ``N`` (paper: 80).
+    sample_ratio:
+        Sample ratio ``S``. The paper uses 0.1 on graphs ~50x larger; at
+        reduced scale the ratio must grow so that fraud-block *fragments*
+        keep enough edges to be visible per sample (see EXPERIMENTS.md).
+    max_blocks:
+        FDET extraction cap per sampled graph.
+    fraudar_blocks:
+        Fixed ``K`` for the Fraudar baseline (paper: 30).
+    svd_components:
+        Components for SpokEn/FBox (paper: 25).
+    """
+
+    name: str
+    dataset_scale: float
+    n_samples: int
+    sample_ratio: float
+    max_blocks: int = 15
+    fraudar_blocks: int = 15
+    svd_components: int = 25
+
+
+SCALES: dict[str, ScalePreset] = {
+    "tiny": ScalePreset(
+        name="tiny",
+        dataset_scale=0.12,
+        n_samples=8,
+        sample_ratio=0.3,
+        max_blocks=8,
+        fraudar_blocks=8,
+        svd_components=10,
+    ),
+    "small": ScalePreset(
+        name="small",
+        dataset_scale=0.3,
+        n_samples=16,
+        sample_ratio=0.25,
+        max_blocks=12,
+        fraudar_blocks=12,
+        svd_components=25,
+    ),
+    "full": ScalePreset(
+        name="full",
+        dataset_scale=1.0,
+        n_samples=40,
+        sample_ratio=0.2,
+        max_blocks=15,
+        fraudar_blocks=30,
+        svd_components=25,
+    ),
+}
+
+
+def resolve_scale(scale: str | ScalePreset) -> ScalePreset:
+    """Accept either a preset name or an explicit preset."""
+    if isinstance(scale, ScalePreset):
+        return scale
+    preset = SCALES.get(scale)
+    if preset is None:
+        raise ExperimentError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    return preset
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + metadata produced by one experiment run."""
+
+    experiment: str
+    title: str
+    rows: list[dict[str, Any]]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self, path: str | os.PathLike[str]) -> None:
+        """Dump rows and metadata as JSON."""
+        payload = {
+            "experiment": self.experiment,
+            "title": self.title,
+            "meta": self.meta,
+            "rows": self.rows,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, default=str), encoding="utf-8")
+
+    def to_csv(self, path: str | os.PathLike[str]) -> None:
+        """Dump rows as CSV (columns = union of row keys, first-seen order)."""
+        columns: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        with Path(path).open("w", newline="", encoding="utf-8") as fh:
+            writer = csv.DictWriter(fh, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(self.rows)
+
+    def render(self, max_rows: int | None = 40) -> str:
+        """ASCII table of the rows (truncated to ``max_rows``)."""
+        header = f"== {self.experiment}: {self.title} =="
+        if not self.rows:
+            return f"{header}\n(no rows)"
+        body = render_table(self.rows, max_rows=max_rows)
+        return f"{header}\n{body}"
+
+    def series(self, key: str) -> list[Any]:
+        """Extract one column across all rows (missing values skipped)."""
+        return [row[key] for row in self.rows if key in row]
+
+
+def render_table(rows: list[dict[str, Any]], max_rows: int | None = 40) -> str:
+    """Render row dicts as an aligned ASCII table."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    shown = rows if max_rows is None else rows[:max_rows]
+    table = [[fmt(row.get(col, "")) for col in columns] for row in shown]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table)) if table else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    lines.extend("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)) for line in table)
+    if max_rows is not None and len(rows) > max_rows:
+        lines.append(f"... ({len(rows) - max_rows} more rows)")
+    return "\n".join(lines)
+
+
+class Experiment(ABC):
+    """One paper artifact (table or figure) as a runnable driver."""
+
+    #: experiment id, e.g. "fig3"
+    id: str = ""
+    #: human title, e.g. "Fig. 3 — method comparison PR curves"
+    title: str = ""
+    #: which paper artifact this regenerates
+    paper_artifact: str = ""
+
+    @abstractmethod
+    def run(self, scale: str | ScalePreset = "small", seed: int = 0) -> ExperimentResult:
+        """Execute the experiment and return its rows."""
+
+    def _result(self, rows: list[dict[str, Any]], **meta: Any) -> ExperimentResult:
+        return ExperimentResult(
+            experiment=self.id, title=self.title, rows=rows, meta=meta
+        )

@@ -1,0 +1,56 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from ..datasets import Dataset, make_jd_dataset
+from ..ensemble import EnsemFDet, EnsemFDetConfig, EnsemFDetResult
+from ..fdet import FdetConfig, FixedKRule, SecondDifferenceRule, TruncationRule
+from ..parallel import ExecutorMode
+from ..sampling import RandomEdgeSampler, Sampler
+from .base import ScalePreset
+
+__all__ = ["dataset_for", "fit_ensemble", "fdet_config_for", "threshold_grid"]
+
+
+def dataset_for(index: int, preset: ScalePreset, seed: int) -> Dataset:
+    """The JD-like dataset for one experiment run."""
+    return make_jd_dataset(index, scale=preset.dataset_scale, seed=seed)
+
+
+def fdet_config_for(
+    preset: ScalePreset, truncation: TruncationRule | None = None
+) -> FdetConfig:
+    """FDET configuration matching a scale preset."""
+    return FdetConfig(
+        max_blocks=preset.max_blocks,
+        truncation=truncation or SecondDifferenceRule(),
+    )
+
+
+def fit_ensemble(
+    dataset: Dataset,
+    preset: ScalePreset,
+    seed: int,
+    sampler: Sampler | None = None,
+    n_samples: int | None = None,
+    truncation: TruncationRule | None = None,
+    executor: str = ExecutorMode.PROCESS,
+) -> EnsemFDetResult:
+    """Fit EnsemFDet with preset-derived defaults (overridable per arg)."""
+    config = EnsemFDetConfig(
+        sampler=sampler or RandomEdgeSampler(preset.sample_ratio),
+        n_samples=n_samples or preset.n_samples,
+        fdet=fdet_config_for(preset, truncation),
+        executor=executor,
+        seed=seed,
+    )
+    return EnsemFDet(config).fit(dataset.graph)
+
+
+def threshold_grid(n_samples: int, max_points: int = 40) -> list[int]:
+    """Thresholds ``1..N`` subsampled to at most ``max_points`` values."""
+    if n_samples <= max_points:
+        return list(range(1, n_samples + 1))
+    step = n_samples / max_points
+    values = sorted({int(round(1 + i * step)) for i in range(max_points)})
+    return [t for t in values if 1 <= t <= n_samples]

@@ -1,0 +1,79 @@
+"""Fig. 3 — precision-recall comparison of all methods on all datasets.
+
+Paper shape to reproduce (not absolute numbers):
+
+* EnsemFDet and Fraudar clearly dominate the SVD methods on every dataset;
+* SpokEn / FBox are unstable across datasets (FBox nearly invalid on #1);
+* EnsemFDet traces a dense smooth curve, Fraudar isolated diamond points.
+
+Rows carry ``(dataset, method, threshold, n_detected, precision, recall,
+f1)`` — exactly the series needed to redraw Fig. 3(a–c).
+"""
+
+from __future__ import annotations
+
+from ..baselines import FBoxDetector, FraudarDetector, SpokenDetector
+from ..metrics import (
+    CurvePoint,
+    ensemble_threshold_curve,
+    fraudar_block_curve,
+    score_curve,
+)
+from .base import Experiment, ExperimentResult, ScalePreset, resolve_scale
+from .common import dataset_for, fit_ensemble, threshold_grid
+
+__all__ = ["Fig3MethodComparison"]
+
+
+class Fig3MethodComparison(Experiment):
+    """PR curves for SpokEn, FBox, Fraudar and EnsemFDet (paper Fig. 3)."""
+
+    id = "fig3"
+    title = "Fig. 3 — performance comparison of different methods"
+    paper_artifact = "Figure 3"
+
+    #: dataset indices to include (all three in the paper)
+    dataset_indices = (1, 2, 3)
+
+    def run(self, scale: str | ScalePreset = "small", seed: int = 0) -> ExperimentResult:
+        preset = resolve_scale(scale)
+        rows = []
+        for index in self.dataset_indices:
+            dataset = dataset_for(index, preset, seed)
+            blacklist = dataset.blacklist
+
+            ensemble = fit_ensemble(dataset, preset, seed)
+            curve = ensemble_threshold_curve(
+                ensemble, blacklist, threshold_grid(ensemble.n_samples)
+            )
+            rows.extend(self._rows(dataset.name, "ensemfdet", curve))
+
+            fraudar = FraudarDetector(n_blocks=preset.fraudar_blocks).detect(dataset.graph)
+            rows.extend(
+                self._rows(dataset.name, "fraudar", fraudar_block_curve(fraudar, blacklist))
+            )
+
+            spoken_scores = SpokenDetector(preset.svd_components).score_users(dataset.graph)
+            rows.extend(
+                self._rows(
+                    dataset.name,
+                    "spoken",
+                    score_curve(dataset.graph, spoken_scores, blacklist, max_points=40),
+                )
+            )
+
+            fbox_scores = FBoxDetector(preset.svd_components).score_users(dataset.graph)
+            rows.extend(
+                self._rows(
+                    dataset.name,
+                    "fbox",
+                    score_curve(dataset.graph, fbox_scores, blacklist, max_points=40),
+                )
+            )
+        return self._result(rows, scale=preset.name, seed=seed)
+
+    @staticmethod
+    def _rows(dataset: str, method: str, curve: list[CurvePoint]) -> list[dict]:
+        return [
+            {"dataset": dataset, "method": method, **point.as_row()} for point in curve
+        ]

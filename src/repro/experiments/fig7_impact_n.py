@@ -1,0 +1,50 @@
+"""Fig. 7 — impact of the ensemble size ``N`` at fixed ``S``.
+
+Paper setting: S = 0.1, N ∈ {10, 20, 40, 80}. Expected shape: performance
+improves with N but with rapidly diminishing returns (N=40 vs N=80 nearly
+indistinguishable) — the stability property that lets EnsemFDet run on
+modest hardware. Because the total number of votes differs per N, curves
+are compared at equal numbers of *detected* PINs (x-axis), exactly as the
+paper argues in §V-D1.
+"""
+
+from __future__ import annotations
+
+from ..metrics import ensemble_threshold_curve
+from .base import Experiment, ExperimentResult, ScalePreset, resolve_scale
+from .common import dataset_for, fit_ensemble
+
+__all__ = ["Fig7ImpactN"]
+
+
+class Fig7ImpactN(Experiment):
+    """Parameter sweep over N (paper Fig. 7)."""
+
+    id = "fig7"
+    title = "Fig. 7 — impact of the number of sampled graphs N"
+    paper_artifact = "Figure 7"
+
+    dataset_index = 3
+    #: paper sweep {10, 20, 40, 80}, scaled down proportionally per preset
+    n_values_full = (10, 20, 40, 80)
+
+    def n_values(self, preset: ScalePreset) -> list[int]:
+        """The N sweep, shrunk for cheaper presets (keeps the 1:2:4:8 shape)."""
+        factor = max(1, 80 // max(preset.n_samples, 1))
+        return [max(2, n // factor) for n in self.n_values_full]
+
+    def run(self, scale: str | ScalePreset = "small", seed: int = 0) -> ExperimentResult:
+        preset = resolve_scale(scale)
+        dataset = dataset_for(self.dataset_index, preset, seed)
+        rows = []
+        for n in self.n_values(preset):
+            ensemble = fit_ensemble(dataset, preset, seed, n_samples=n)
+            for point in ensemble_threshold_curve(ensemble, dataset.blacklist):
+                rows.append({"n_samples": n, **point.as_row()})
+        return self._result(
+            rows,
+            scale=preset.name,
+            seed=seed,
+            dataset=dataset.name,
+            sample_ratio=preset.sample_ratio,
+        )

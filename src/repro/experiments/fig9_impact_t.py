@@ -1,0 +1,43 @@
+"""Fig. 9 — impact of the voting threshold ``T``.
+
+Paper setting: S = 0.1, N = 80, T ∈ {1..40}, all three datasets. Expected
+shape: precision rises and recall falls *monotonically and smoothly* with
+T — the property that makes T a usable business knob ("reduce error rate
+vs find as many as possible").
+"""
+
+from __future__ import annotations
+
+from ..metrics import ensemble_threshold_curve
+from .base import Experiment, ExperimentResult, ScalePreset, resolve_scale
+from .common import dataset_for, fit_ensemble
+
+__all__ = ["Fig9ImpactT"]
+
+
+class Fig9ImpactT(Experiment):
+    """Threshold sweep over T on every dataset (paper Fig. 9)."""
+
+    id = "fig9"
+    title = "Fig. 9 — impact of the voting threshold T"
+    paper_artifact = "Figure 9"
+
+    dataset_indices = (1, 2, 3)
+
+    def run(self, scale: str | ScalePreset = "small", seed: int = 0) -> ExperimentResult:
+        preset = resolve_scale(scale)
+        rows = []
+        for index in self.dataset_indices:
+            dataset = dataset_for(index, preset, seed)
+            ensemble = fit_ensemble(dataset, preset, seed)
+            # the paper sweeps T up to N/2; sweep the full 1..N here
+            thresholds = list(range(1, ensemble.n_samples + 1))
+            for point in ensemble_threshold_curve(ensemble, dataset.blacklist, thresholds):
+                rows.append({"dataset": dataset.name, "T": int(point.threshold), **point.as_row()})
+        return self._result(
+            rows,
+            scale=preset.name,
+            seed=seed,
+            n_samples=preset.n_samples,
+            sample_ratio=preset.sample_ratio,
+        )

@@ -1,0 +1,49 @@
+"""Registry of all experiment drivers, keyed by experiment id."""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from .base import Experiment
+from .fig1_block_scores import Fig1BlockScores
+from .fig3_method_comparison import Fig3MethodComparison
+from .fig4_practicability import Fig4Practicability
+from .fig5_sampling_methods import Fig5SamplingMethods
+from .fig6_truncation import Fig6Truncation
+from .fig7_impact_n import Fig7ImpactN
+from .fig8_impact_s import Fig8ImpactS
+from .fig9_impact_t import Fig9ImpactT
+from .table1_datasets import Table1Datasets
+from .table3_timing import Table3Timing
+
+__all__ = ["EXPERIMENTS", "get_experiment", "all_experiment_ids"]
+
+_CLASSES: tuple[type[Experiment], ...] = (
+    Table1Datasets,
+    Fig1BlockScores,
+    Fig3MethodComparison,
+    Fig4Practicability,
+    Table3Timing,
+    Fig5SamplingMethods,
+    Fig6Truncation,
+    Fig7ImpactN,
+    Fig8ImpactS,
+    Fig9ImpactT,
+)
+
+#: experiment id -> driver class
+EXPERIMENTS: dict[str, type[Experiment]] = {cls.id: cls for cls in _CLASSES}
+
+
+def all_experiment_ids() -> list[str]:
+    """All registered ids, in paper order."""
+    return [cls.id for cls in _CLASSES]
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Instantiate the driver for ``experiment_id``."""
+    cls = EXPERIMENTS.get(experiment_id)
+    if cls is None:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(all_experiment_ids())}"
+        )
+    return cls()

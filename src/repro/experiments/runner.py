@@ -1,0 +1,79 @@
+"""Command-line experiment runner.
+
+Run every paper table/figure (or a subset) and write artifacts::
+
+    python -m repro.experiments.runner                 # all, small scale
+    python -m repro.experiments.runner fig3 table3     # subset
+    python -m repro.experiments.runner --scale full --outdir results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..logging_utils import enable_console_logging, get_logger
+from ..parallel import Timer
+from .base import SCALES, ExperimentResult
+from .registry import all_experiment_ids, get_experiment
+
+__all__ = ["main", "run_experiments"]
+
+_LOG = get_logger("experiments")
+
+
+def run_experiments(
+    experiment_ids: list[str],
+    scale: str = "small",
+    seed: int = 0,
+    outdir: str | None = None,
+) -> list[ExperimentResult]:
+    """Run the given experiments, optionally writing CSV/JSON artifacts."""
+    results = []
+    for experiment_id in experiment_ids:
+        experiment = get_experiment(experiment_id)
+        with Timer() as timer:
+            result = experiment.run(scale=scale, seed=seed)
+        result.meta["wall_seconds"] = round(timer.elapsed, 3)
+        results.append(result)
+        if outdir is not None:
+            directory = Path(outdir)
+            directory.mkdir(parents=True, exist_ok=True)
+            result.to_csv(directory / f"{experiment_id}.csv")
+            result.to_json(directory / f"{experiment_id}.json")
+        _LOG.info("%s finished in %.2fs (%d rows)", experiment_id, timer.elapsed, len(result.rows))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"experiment ids (default: all of {', '.join(all_experiment_ids())})",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--outdir", default=None, help="write CSV/JSON artifacts here")
+    parser.add_argument("--max-rows", type=int, default=25, help="rows shown per table")
+    args = parser.parse_args(argv)
+
+    enable_console_logging()
+    ids = args.experiments or all_experiment_ids()
+    results = run_experiments(ids, scale=args.scale, seed=args.seed, outdir=args.outdir)
+    for result in results:
+        print()
+        print(result.render(max_rows=args.max_rows))
+        if result.meta:
+            print(f"meta: {result.meta}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

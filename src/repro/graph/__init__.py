@@ -1,0 +1,38 @@
+"""Bipartite-graph substrate: the *"who buy-from where"* graph and friends."""
+
+from .bipartite import BipartiteGraph
+from .builder import BuiltGraph, GraphBuilder
+from .algorithms import connected_components, core_numbers, k_core, largest_component
+from .matrix import from_scipy, to_dense, to_scipy
+from .io import load_edge_list, load_npz, save_edge_list, save_npz
+from .projections import co_purchase_counts, project_merchants, project_users
+from .stats import GraphStats, degree_gini, degree_histogram, describe, edge_density
+from .validation import assert_subgraph_of, has_duplicate_edges, validate_graph
+
+__all__ = [
+    "BipartiteGraph",
+    "GraphBuilder",
+    "BuiltGraph",
+    "connected_components",
+    "largest_component",
+    "core_numbers",
+    "k_core",
+    "to_scipy",
+    "from_scipy",
+    "to_dense",
+    "save_edge_list",
+    "load_edge_list",
+    "save_npz",
+    "load_npz",
+    "GraphStats",
+    "describe",
+    "edge_density",
+    "degree_histogram",
+    "degree_gini",
+    "validate_graph",
+    "assert_subgraph_of",
+    "has_duplicate_edges",
+    "project_users",
+    "project_merchants",
+    "co_purchase_counts",
+]

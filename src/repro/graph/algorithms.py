@@ -1,0 +1,126 @@
+"""Classic graph algorithms over bipartite graphs.
+
+Connected components (union–find over edges) and k-core decomposition — both
+used as analysis substrates: components bound how many disjoint dense blocks
+can exist, and cores give a fast pre-filter comparison point for the peeling
+detectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+
+__all__ = [
+    "connected_components",
+    "largest_component",
+    "core_numbers",
+    "k_core",
+]
+
+
+class _UnionFind:
+    """Array-based union–find with path halving and union by size."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+def connected_components(graph: BipartiteGraph) -> tuple[np.ndarray, np.ndarray, int]:
+    """Label nodes by connected component.
+
+    Returns ``(user_component, merchant_component, n_components)`` where
+    isolated nodes each form their own component. Component ids are dense
+    ``0..n_components-1``.
+    """
+    n = graph.n_users + graph.n_merchants
+    uf = _UnionFind(n)
+    offset = graph.n_users
+    for u, v in zip(graph.edge_users.tolist(), graph.edge_merchants.tolist()):
+        uf.union(u, offset + v)
+    roots = np.array([uf.find(i) for i in range(n)], dtype=np.int64)
+    _, labels = np.unique(roots, return_inverse=True)
+    n_components = int(labels.max()) + 1 if n else 0
+    return labels[: graph.n_users], labels[graph.n_users :], n_components
+
+
+def largest_component(graph: BipartiteGraph) -> BipartiteGraph:
+    """Induced subgraph on the component with the most edges."""
+    if graph.is_empty:
+        return graph
+    user_comp, _, _ = connected_components(graph)
+    edge_comp = user_comp[graph.edge_users]
+    values, counts = np.unique(edge_comp, return_counts=True)
+    best = values[int(np.argmax(counts))]
+    return graph.edge_subgraph(np.nonzero(edge_comp == best)[0])
+
+
+def core_numbers(graph: BipartiteGraph) -> tuple[np.ndarray, np.ndarray]:
+    """K-core numbers via the standard peeling order (unweighted degrees).
+
+    Returns per-user and per-merchant core numbers. Implemented over the
+    unified node space with bucket peeling — O(E + V).
+    """
+    n = graph.n_users + graph.n_merchants
+    offset = graph.n_users
+    degrees = np.concatenate([graph.user_degrees(), graph.merchant_degrees()]).astype(np.int64)
+    # adjacency over unified node ids
+    neighbors: list[list[int]] = [[] for _ in range(n)]
+    for u, v in zip(graph.edge_users.tolist(), graph.edge_merchants.tolist()):
+        neighbors[u].append(offset + v)
+        neighbors[offset + v].append(u)
+
+    core = degrees.copy()
+    max_deg = int(degrees.max()) if n else 0
+    buckets: list[list[int]] = [[] for _ in range(max_deg + 1)]
+    for node in range(n):
+        buckets[int(degrees[node])].append(node)
+    current = degrees.copy()
+    removed = np.zeros(n, dtype=bool)
+    level = 0
+    processed = 0
+    while processed < n:
+        while level <= max_deg and not buckets[level]:
+            level += 1
+        if level > max_deg:
+            break
+        node = buckets[level].pop()
+        if removed[node] or current[node] > level:
+            # stale bucket entry
+            continue
+        removed[node] = True
+        processed += 1
+        core[node] = level
+        for nb in neighbors[node]:
+            if not removed[nb] and current[nb] > level:
+                current[nb] -= 1
+                buckets[int(current[nb])].append(nb)
+                if int(current[nb]) < level:
+                    level = int(current[nb])
+    return core[:offset], core[offset:]
+
+
+def k_core(graph: BipartiteGraph, k: int) -> BipartiteGraph:
+    """Maximal subgraph where every node has degree ≥ k (compacted)."""
+    user_core, merchant_core = core_numbers(graph)
+    users = np.nonzero(user_core >= k)[0]
+    merchants = np.nonzero(merchant_core >= k)[0]
+    return graph.induced_subgraph(users=users, merchants=merchants)

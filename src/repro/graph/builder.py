@@ -1,0 +1,161 @@
+"""Incremental construction of :class:`~repro.graph.bipartite.BipartiteGraph`.
+
+Real transaction logs arrive as ``(PIN, merchant)`` records with arbitrary
+keys (strings, database ids). :class:`GraphBuilder` interns those keys into
+dense indices in insertion order, optionally collapses duplicate purchases,
+and produces an immutable graph plus the key↔index mappings needed to report
+detections back in terms of the original identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from ..errors import GraphError
+from .bipartite import BipartiteGraph
+
+__all__ = ["GraphBuilder", "BuiltGraph"]
+
+
+class BuiltGraph:
+    """Result of :meth:`GraphBuilder.build`.
+
+    Attributes
+    ----------
+    graph:
+        The immutable bipartite graph.
+    user_keys, merchant_keys:
+        ``index -> original key`` lists.
+    user_index, merchant_index:
+        ``original key -> index`` mappings.
+    """
+
+    __slots__ = ("graph", "user_keys", "merchant_keys", "user_index", "merchant_index")
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        user_keys: list[Hashable],
+        merchant_keys: list[Hashable],
+        user_index: Mapping[Hashable, int],
+        merchant_index: Mapping[Hashable, int],
+    ) -> None:
+        self.graph = graph
+        self.user_keys = user_keys
+        self.merchant_keys = merchant_keys
+        self.user_index = user_index
+        self.merchant_index = merchant_index
+
+    def users_from_indices(self, indices: Iterable[int]) -> list[Hashable]:
+        """Translate user indices back to the original keys."""
+        return [self.user_keys[i] for i in indices]
+
+    def merchants_from_indices(self, indices: Iterable[int]) -> list[Hashable]:
+        """Translate merchant indices back to the original keys."""
+        return [self.merchant_keys[i] for i in indices]
+
+
+class GraphBuilder:
+    """Accumulate ``(user_key, merchant_key[, weight])`` purchase records.
+
+    >>> builder = GraphBuilder()
+    >>> builder.add_edge("pin-7", "shop-a")
+    >>> builder.add_edge("pin-7", "shop-b", weight=2.0)
+    >>> built = builder.build()
+    >>> built.graph.n_edges
+    2
+    """
+
+    def __init__(self, deduplicate: bool = False) -> None:
+        self._deduplicate = deduplicate
+        self._user_index: dict[Hashable, int] = {}
+        self._merchant_index: dict[Hashable, int] = {}
+        self._user_keys: list[Hashable] = []
+        self._merchant_keys: list[Hashable] = []
+        self._edge_users: list[int] = []
+        self._edge_merchants: list[int] = []
+        self._weights: list[float] = []
+        self._any_weight = False
+        self._seen: set[tuple[int, int]] | None = set() if deduplicate else None
+        self._built = False
+
+    def _intern(
+        self, key: Hashable, index: dict[Hashable, int], keys: list[Hashable]
+    ) -> int:
+        node = index.get(key)
+        if node is None:
+            node = len(keys)
+            index[key] = node
+            keys.append(key)
+        return node
+
+    def add_user(self, key: Hashable) -> int:
+        """Register a user key (possibly isolated); return its index."""
+        self._check_not_built()
+        return self._intern(key, self._user_index, self._user_keys)
+
+    def add_merchant(self, key: Hashable) -> int:
+        """Register a merchant key (possibly isolated); return its index."""
+        self._check_not_built()
+        return self._intern(key, self._merchant_index, self._merchant_keys)
+
+    def add_edge(self, user_key: Hashable, merchant_key: Hashable, weight: float = 1.0) -> None:
+        """Record one purchase of ``user_key`` at ``merchant_key``."""
+        self._check_not_built()
+        u = self.add_user(user_key)
+        v = self.add_merchant(merchant_key)
+        if self._seen is not None:
+            if (u, v) in self._seen:
+                return
+            self._seen.add((u, v))
+        self._edge_users.append(u)
+        self._edge_merchants.append(v)
+        self._weights.append(float(weight))
+        if weight != 1.0:
+            self._any_weight = True
+
+    def add_edges(self, edges: Iterable[tuple[Hashable, Hashable]]) -> None:
+        """Record many unweighted purchases."""
+        for user_key, merchant_key in edges:
+            self.add_edge(user_key, merchant_key)
+
+    @property
+    def n_users(self) -> int:
+        """Users registered so far."""
+        return len(self._user_keys)
+
+    @property
+    def n_merchants(self) -> int:
+        """Merchants registered so far."""
+        return len(self._merchant_keys)
+
+    @property
+    def n_edges(self) -> int:
+        """Edges recorded so far."""
+        return len(self._edge_users)
+
+    def _check_not_built(self) -> None:
+        if self._built:
+            raise GraphError("GraphBuilder cannot be reused after build()")
+
+    def build(self) -> BuiltGraph:
+        """Freeze the accumulated records into a :class:`BuiltGraph`."""
+        self._check_not_built()
+        self._built = True
+        weights = np.array(self._weights, dtype=np.float64) if self._any_weight else None
+        graph = BipartiteGraph(
+            n_users=len(self._user_keys),
+            n_merchants=len(self._merchant_keys),
+            edge_users=np.array(self._edge_users, dtype=np.int64),
+            edge_merchants=np.array(self._edge_merchants, dtype=np.int64),
+            edge_weights=weights,
+        )
+        return BuiltGraph(
+            graph=graph,
+            user_keys=self._user_keys,
+            merchant_keys=self._merchant_keys,
+            user_index=self._user_index,
+            merchant_index=self._merchant_index,
+        )

@@ -1,0 +1,123 @@
+"""Serialisation of bipartite graphs.
+
+Two formats:
+
+* **edge-list TSV** — ``user<TAB>merchant[<TAB>weight]`` rows with a ``#``
+  header carrying partition sizes; interoperable with awk/cut pipelines.
+* **npz** — a compact numpy archive preserving labels and weights exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphError
+from .bipartite import BipartiteGraph
+
+__all__ = ["save_edge_list", "load_edge_list", "save_npz", "load_npz"]
+
+_HEADER_PREFIX = "# bipartite"
+
+
+def save_edge_list(graph: BipartiteGraph, path: str | os.PathLike[str]) -> None:
+    """Write the graph as TSV with a size header.
+
+    Node *labels* (original ids), not local indices, are written so that a
+    saved subgraph remains interpretable against its parent graph.
+    """
+    path = Path(path)
+    weights = graph.edge_weights
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(
+            f"{_HEADER_PREFIX} users={graph.n_users} merchants={graph.n_merchants} "
+            f"edges={graph.n_edges} weighted={int(graph.is_weighted)}\n"
+        )
+        user_labels = graph.user_labels
+        merchant_labels = graph.merchant_labels
+        for i in range(graph.n_edges):
+            u = user_labels[graph.edge_users[i]]
+            v = merchant_labels[graph.edge_merchants[i]]
+            if weights is None:
+                fh.write(f"{u}\t{v}\n")
+            else:
+                fh.write(f"{u}\t{v}\t{float(weights[i])!r}\n")
+
+
+def load_edge_list(path: str | os.PathLike[str]) -> BipartiteGraph:
+    """Read a TSV written by :func:`save_edge_list`.
+
+    Labels are re-interned into dense local indices; the original labels are
+    preserved in ``user_labels`` / ``merchant_labels``.
+    """
+    path = Path(path)
+    edge_users: list[int] = []
+    edge_merchants: list[int] = []
+    weights: list[float] = []
+    weighted = False
+    with path.open("r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise GraphError(f"{path}: missing '{_HEADER_PREFIX}' header")
+        fields = dict(item.split("=") for item in header.strip().split()[2:])
+        weighted = bool(int(fields.get("weighted", "0")))
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_no}: expected at least two columns")
+            edge_users.append(int(parts[0]))
+            edge_merchants.append(int(parts[1]))
+            if weighted:
+                if len(parts) < 3:
+                    raise GraphError(f"{path}:{line_no}: weighted file missing weight column")
+                weights.append(float(parts[2]))
+
+    user_labels, local_users = np.unique(
+        np.array(edge_users, dtype=np.int64), return_inverse=True
+    )
+    merchant_labels, local_merchants = np.unique(
+        np.array(edge_merchants, dtype=np.int64), return_inverse=True
+    )
+    return BipartiteGraph(
+        n_users=user_labels.size,
+        n_merchants=merchant_labels.size,
+        edge_users=local_users,
+        edge_merchants=local_merchants,
+        edge_weights=np.array(weights, dtype=np.float64) if weighted else None,
+        user_labels=user_labels,
+        merchant_labels=merchant_labels,
+    )
+
+
+def save_npz(graph: BipartiteGraph, path: str | os.PathLike[str]) -> None:
+    """Save the full graph (including labels) to a ``.npz`` archive."""
+    arrays = {
+        "n_users": np.array([graph.n_users], dtype=np.int64),
+        "n_merchants": np.array([graph.n_merchants], dtype=np.int64),
+        "edge_users": graph.edge_users,
+        "edge_merchants": graph.edge_merchants,
+        "user_labels": graph.user_labels,
+        "merchant_labels": graph.merchant_labels,
+    }
+    if graph.edge_weights is not None:
+        arrays["edge_weights"] = graph.edge_weights
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_npz(path: str | os.PathLike[str]) -> BipartiteGraph:
+    """Load a graph saved by :func:`save_npz` (exact round-trip)."""
+    with np.load(Path(path)) as data:
+        return BipartiteGraph(
+            n_users=int(data["n_users"][0]),
+            n_merchants=int(data["n_merchants"][0]),
+            edge_users=data["edge_users"],
+            edge_merchants=data["edge_merchants"],
+            edge_weights=data["edge_weights"] if "edge_weights" in data else None,
+            user_labels=data["user_labels"],
+            merchant_labels=data["merchant_labels"],
+        )

@@ -1,0 +1,98 @@
+"""Descriptive statistics for bipartite graphs.
+
+These power the Table-I style dataset summaries and the sampling analysis
+(average side degrees decide which side ONS should sample, §IV-A3 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+
+__all__ = ["GraphStats", "describe", "degree_histogram", "edge_density", "degree_gini"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one bipartite graph."""
+
+    n_users: int
+    n_merchants: int
+    n_edges: int
+    avg_user_degree: float
+    avg_merchant_degree: float
+    max_user_degree: int
+    max_merchant_degree: int
+    edge_density: float
+    isolated_users: int
+    isolated_merchants: int
+
+    def as_row(self) -> dict[str, float | int]:
+        """Flat dict suitable for a report table row."""
+        return {
+            "users": self.n_users,
+            "merchants": self.n_merchants,
+            "edges": self.n_edges,
+            "avg_deg_user": round(self.avg_user_degree, 3),
+            "avg_deg_merchant": round(self.avg_merchant_degree, 3),
+            "max_deg_user": self.max_user_degree,
+            "max_deg_merchant": self.max_merchant_degree,
+            "edge_density": self.edge_density,
+            "isolated_users": self.isolated_users,
+            "isolated_merchants": self.isolated_merchants,
+        }
+
+
+def describe(graph: BipartiteGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    du = graph.user_degrees()
+    dv = graph.merchant_degrees()
+    return GraphStats(
+        n_users=graph.n_users,
+        n_merchants=graph.n_merchants,
+        n_edges=graph.n_edges,
+        avg_user_degree=float(du.mean()) if du.size else 0.0,
+        avg_merchant_degree=float(dv.mean()) if dv.size else 0.0,
+        max_user_degree=int(du.max()) if du.size else 0,
+        max_merchant_degree=int(dv.max()) if dv.size else 0,
+        edge_density=edge_density(graph),
+        isolated_users=int((du == 0).sum()),
+        isolated_merchants=int((dv == 0).sum()),
+    )
+
+
+def edge_density(graph: BipartiteGraph) -> float:
+    """``|E| / (|U| · |V|)`` — fraction of possible bipartite edges present."""
+    cells = graph.n_users * graph.n_merchants
+    if cells == 0:
+        return 0.0
+    return graph.n_edges / cells
+
+
+def degree_histogram(degrees: np.ndarray) -> dict[int, int]:
+    """``degree -> node count`` map (``f_D(q)`` in the paper's Lemma 1)."""
+    if degrees.size == 0:
+        return {}
+    values, counts = np.unique(degrees, return_counts=True)
+    return {int(q): int(c) for q, c in zip(values, counts)}
+
+
+def degree_gini(degrees: np.ndarray) -> float:
+    """Gini coefficient of a degree distribution (0 = uniform, →1 = skewed).
+
+    Useful to confirm the synthetic backgrounds are heavy-tailed like real
+    transaction data.
+    """
+    if degrees.size == 0:
+        return 0.0
+    sorted_deg = np.sort(degrees.astype(np.float64))
+    total = sorted_deg.sum()
+    if total == 0:
+        return 0.0
+    n = sorted_deg.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * sorted_deg).sum()) / (n * total) - (n + 1) / n)

@@ -1,0 +1,70 @@
+"""Deep structural validation of bipartite graphs.
+
+:class:`BipartiteGraph` validates array shapes and index ranges on
+construction; this module adds the *expensive* checks (label uniqueness,
+subgraph containment) that tests and data-ingestion paths want but hot loops
+must not pay for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphValidationError
+from .bipartite import BipartiteGraph
+
+__all__ = ["validate_graph", "assert_subgraph_of", "has_duplicate_edges"]
+
+
+def validate_graph(graph: BipartiteGraph, require_unique_labels: bool = True) -> None:
+    """Raise :class:`GraphValidationError` on any deep inconsistency."""
+    if graph.edge_weights is not None:
+        if not np.all(np.isfinite(graph.edge_weights)):
+            raise GraphValidationError("edge_weights contains non-finite values")
+        if np.any(graph.edge_weights < 0):
+            raise GraphValidationError("edge_weights contains negative values")
+    if require_unique_labels:
+        if np.unique(graph.user_labels).size != graph.n_users:
+            raise GraphValidationError("user_labels are not unique")
+        if np.unique(graph.merchant_labels).size != graph.n_merchants:
+            raise GraphValidationError("merchant_labels are not unique")
+    # adjacency consistency: CSR partitions must cover each edge exactly once
+    indptr, edge_index = graph.user_adjacency()
+    if int(indptr[-1]) != graph.n_edges or np.unique(edge_index).size != graph.n_edges:
+        raise GraphValidationError("user adjacency does not partition the edge set")
+    indptr, edge_index = graph.merchant_adjacency()
+    if int(indptr[-1]) != graph.n_edges or np.unique(edge_index).size != graph.n_edges:
+        raise GraphValidationError("merchant adjacency does not partition the edge set")
+
+
+def has_duplicate_edges(graph: BipartiteGraph) -> bool:
+    """``True`` when some ``(user, merchant)`` pair appears more than once."""
+    if graph.is_empty:
+        return False
+    pairs = graph.edge_users.astype(np.int64) * graph.n_merchants + graph.edge_merchants
+    return np.unique(pairs).size != graph.n_edges
+
+
+def _label_edge_set(graph: BipartiteGraph) -> set[tuple[int, int]]:
+    return {
+        (int(graph.user_labels[u]), int(graph.merchant_labels[v]))
+        for u, v in zip(graph.edge_users.tolist(), graph.edge_merchants.tolist())
+    }
+
+
+def assert_subgraph_of(sub: BipartiteGraph, parent: BipartiteGraph) -> None:
+    """Check that ``sub``'s labelled nodes/edges all exist in ``parent``.
+
+    Samplers must only ever *remove* structure; this is the invariant the
+    property tests lean on.
+    """
+    parent_users = set(parent.user_labels.tolist())
+    parent_merchants = set(parent.merchant_labels.tolist())
+    sub_users = set(sub.user_labels.tolist())
+    sub_merchants = set(sub.merchant_labels.tolist())
+    if not sub_users <= parent_users:
+        raise GraphValidationError("subgraph has user labels absent from parent")
+    if not sub_merchants <= parent_merchants:
+        raise GraphValidationError("subgraph has merchant labels absent from parent")
+    if not _label_edge_set(sub) <= _label_edge_set(parent):
+        raise GraphValidationError("subgraph has edges absent from parent")

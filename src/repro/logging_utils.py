@@ -1,0 +1,49 @@
+"""Small logging helpers shared across the library.
+
+The library logs under the ``"repro"`` namespace and never configures the
+root logger; applications opt in with :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(suffix: str | None = None) -> logging.Logger:
+    """Return the library logger, optionally namespaced by ``suffix``.
+
+    >>> get_logger("fdet").name
+    'repro.fdet'
+    """
+    if suffix:
+        return logging.getLogger(f"{LOGGER_NAME}.{suffix}")
+    return logging.getLogger(LOGGER_NAME)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the library logger (idempotent)."""
+    logger = get_logger()
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)
+
+
+@contextmanager
+def log_duration(message: str, logger: logging.Logger | None = None) -> Iterator[None]:
+    """Log ``message`` together with the wall-clock duration of the block."""
+    log = logger or get_logger()
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        log.info("%s (%.3fs)", message, time.perf_counter() - start)

@@ -1,0 +1,39 @@
+"""Evaluation metrics and operating-curve utilities (paper §V-B1)."""
+
+from .confusion import Confusion, confusion_from_sets
+from .curves import (
+    CurvePoint,
+    auc_pr,
+    best_f1,
+    curve_from_detections,
+    max_detected_gap,
+    pr_curve_from_scores,
+    precision_at_recall,
+)
+from .evaluation import (
+    ensemble_threshold_curve,
+    evaluate_detection,
+    fraudar_block_curve,
+    score_curve,
+)
+from .stability import detection_stability, f1_spread, jaccard, seed_sweep_stability
+
+__all__ = [
+    "Confusion",
+    "confusion_from_sets",
+    "CurvePoint",
+    "pr_curve_from_scores",
+    "curve_from_detections",
+    "max_detected_gap",
+    "auc_pr",
+    "best_f1",
+    "precision_at_recall",
+    "evaluate_detection",
+    "ensemble_threshold_curve",
+    "fraudar_block_curve",
+    "score_curve",
+    "jaccard",
+    "detection_stability",
+    "f1_spread",
+    "seed_sweep_stability",
+]

@@ -1,0 +1,95 @@
+"""Precision / recall / F1 over detected-node sets (paper §V-B1).
+
+The paper evaluates with F1, recall and precision over detected fraud PINs
+against the blacklist (accuracy is explicitly dismissed because of class
+imbalance — we follow suit and do not expose it prominently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Confusion", "confusion_from_sets"]
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Binary confusion counts with derived rates.
+
+    ``tn`` is optional (``-1`` when unknown) because set-based evaluation
+    against a blacklist does not need it for P/R/F1.
+    """
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int = -1
+
+    @property
+    def n_detected(self) -> int:
+        """Total positives predicted."""
+        return self.tp + self.fp
+
+    @property
+    def precision(self) -> float:
+        """``tp / (tp + fp)`` — 0 when nothing was detected."""
+        detected = self.tp + self.fp
+        return self.tp / detected if detected else 0.0
+
+    @property
+    def recall(self) -> float:
+        """``tp / (tp + fn)`` — 0 when the truth set is empty."""
+        positives = self.tp + self.fn
+        return self.tp / positives if positives else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """``fp / (fp + tn)`` — requires ``tn`` to be known."""
+        if self.tn < 0:
+            raise ValueError("false positive rate needs tn; construct with n_population")
+        negatives = self.fp + self.tn
+        return self.fp / negatives if negatives else 0.0
+
+    def as_row(self) -> dict[str, float | int]:
+        """Flat dict for report tables."""
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "fn": self.fn,
+            "n_detected": self.n_detected,
+            "precision": round(self.precision, 6),
+            "recall": round(self.recall, 6),
+            "f1": round(self.f1, 6),
+        }
+
+
+def confusion_from_sets(
+    detected: Iterable[int],
+    truth: Iterable[int],
+    n_population: int | None = None,
+) -> Confusion:
+    """Compare a detected label set against a ground-truth label set.
+
+    ``n_population`` (total number of users) enables ``tn`` and hence FPR.
+    """
+    detected_set = set(int(x) for x in detected)
+    truth_set = set(int(x) for x in truth)
+    tp = len(detected_set & truth_set)
+    fp = len(detected_set - truth_set)
+    fn = len(truth_set - detected_set)
+    if n_population is None:
+        tn = -1
+    else:
+        tn = n_population - tp - fp - fn
+        if tn < 0:
+            raise ValueError(
+                f"n_population={n_population} smaller than the union of detected and truth sets"
+            )
+    return Confusion(tp=tp, fp=fp, fn=fn, tn=tn)

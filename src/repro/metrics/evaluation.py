@@ -1,0 +1,80 @@
+"""Evaluation harness: detectors × datasets → operating curves.
+
+Glue between the detector result types and the curve machinery — one
+function per detector family, all returning ``list[CurvePoint]`` so
+experiments can compare them uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import FraudarResult
+from ..datasets import Blacklist
+from ..ensemble import EnsemFDetResult
+from ..graph import BipartiteGraph
+from .confusion import Confusion, confusion_from_sets
+from .curves import CurvePoint, curve_from_detections, pr_curve_from_scores
+
+__all__ = [
+    "evaluate_detection",
+    "ensemble_threshold_curve",
+    "fraudar_block_curve",
+    "score_curve",
+]
+
+
+def evaluate_detection(
+    detected_users: np.ndarray,
+    blacklist: Blacklist,
+    n_population: int | None = None,
+) -> Confusion:
+    """Confusion of one fixed detection against the blacklist."""
+    return confusion_from_sets(
+        detected_users.tolist(), blacklist.labels, n_population=n_population
+    )
+
+
+def ensemble_threshold_curve(
+    result: EnsemFDetResult,
+    blacklist: Blacklist,
+    thresholds: list[int] | None = None,
+) -> list[CurvePoint]:
+    """EnsemFDet's operating curve: sweep the voting threshold ``T``.
+
+    Default thresholds are ``1..N`` descending detection size, the sweep
+    behind Figs. 4 and 9.
+    """
+    pairs = result.sweep_thresholds(thresholds)
+    return curve_from_detections(
+        [(float(t), detection.user_labels.tolist()) for t, detection in pairs],
+        blacklist.labels,
+    )
+
+
+def fraudar_block_curve(
+    result: FraudarResult, blacklist: Blacklist
+) -> list[CurvePoint]:
+    """Fraudar's operating points: cumulative unions of blocks 1..K."""
+    return curve_from_detections(
+        [
+            (float(n_blocks), labels.tolist())
+            for n_blocks, labels in result.cumulative_detections()
+        ],
+        blacklist.labels,
+    )
+
+
+def score_curve(
+    graph: BipartiteGraph,
+    user_scores: np.ndarray,
+    blacklist: Blacklist,
+    max_points: int = 200,
+) -> list[CurvePoint]:
+    """Curve for score-based baselines (SpokEn, FBox, degree).
+
+    ``user_scores`` are per *local index*; the blacklist speaks in labels,
+    so the graph's ``user_labels`` provide the bridge.
+    """
+    truth_mask = blacklist.mask(graph.user_labels)
+    return pr_curve_from_scores(user_scores, truth_mask, max_points=max_points)

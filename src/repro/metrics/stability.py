@@ -1,0 +1,87 @@
+"""Run-to-run stability measures (the paper's fourth claim, §V).
+
+The paper argues EnsemFDet is *stable*: performance barely moves across
+ensemble sizes, sample ratios and (implicitly) sampling randomness. These
+helpers quantify that directly:
+
+* :func:`jaccard` — overlap of two detection sets;
+* :func:`detection_stability` — mean pairwise Jaccard of detections across
+  independent seeds (1.0 = perfectly reproducible detections);
+* :func:`f1_spread` — max−min best-F1 across a parameter sweep (the band
+  width the Fig. 7/8 analysis reasons about).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..datasets import Blacklist
+from ..ensemble import EnsemFDet, EnsemFDetConfig
+from ..graph import BipartiteGraph
+from .curves import best_f1
+from .evaluation import ensemble_threshold_curve
+
+__all__ = ["jaccard", "detection_stability", "f1_spread", "seed_sweep_stability"]
+
+
+def jaccard(a: Iterable[int], b: Iterable[int]) -> float:
+    """Jaccard similarity of two label sets (1.0 when both empty)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def detection_stability(detections: Sequence[Iterable[int]]) -> float:
+    """Mean pairwise Jaccard across detection sets from independent runs."""
+    if len(detections) < 2:
+        return 1.0
+    sets = [set(d) for d in detections]
+    pairs = list(combinations(range(len(sets)), 2))
+    return float(np.mean([jaccard(sets[i], sets[j]) for i, j in pairs]))
+
+
+def f1_spread(f1_values: Sequence[float]) -> float:
+    """Band width of best-F1 across a sweep: ``max − min``."""
+    if not f1_values:
+        return 0.0
+    return float(max(f1_values) - min(f1_values))
+
+
+def seed_sweep_stability(
+    graph: BipartiteGraph,
+    blacklist: Blacklist,
+    config: EnsemFDetConfig,
+    seeds: Sequence[int],
+    threshold: int,
+) -> dict[str, float]:
+    """Fit the same ensemble under several seeds and summarise stability.
+
+    Returns ``{"detection_jaccard": ..., "f1_mean": ..., "f1_spread": ...}``
+    where the Jaccard is over the detected user sets at the given threshold
+    and the F1 statistics are over each run's best operating point.
+    """
+    detections: list[set[int]] = []
+    f1_values: list[float] = []
+    for seed in seeds:
+        seeded = EnsemFDetConfig(
+            sampler=config.sampler,
+            n_samples=config.n_samples,
+            fdet=config.fdet,
+            executor=config.executor,
+            n_workers=config.n_workers,
+            seed=seed,
+            track_appearances=config.track_appearances,
+        )
+        result = EnsemFDet(seeded).fit(graph)
+        detections.append(result.detect(threshold).user_set())
+        best = best_f1(ensemble_threshold_curve(result, blacklist))
+        f1_values.append(best.f1 if best else 0.0)
+    return {
+        "detection_jaccard": detection_stability(detections),
+        "f1_mean": float(np.mean(f1_values)) if f1_values else 0.0,
+        "f1_spread": f1_spread(f1_values),
+    }

@@ -1,0 +1,13 @@
+"""Parallel-execution substrate for the ensemble stage."""
+
+from .executor import ExecutorMode, default_workers, parallel_map
+from .timing import Timer, Timing, time_callable
+
+__all__ = [
+    "ExecutorMode",
+    "parallel_map",
+    "default_workers",
+    "Timer",
+    "Timing",
+    "time_callable",
+]

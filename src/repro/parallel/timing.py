@@ -1,0 +1,48 @@
+"""Wall-clock timing helpers for the Table-III style speedup measurements."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, TypeVar
+
+__all__ = ["Timer", "Timing", "time_callable"]
+
+R = TypeVar("R")
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Result + duration of one timed call."""
+
+    value: Any
+    seconds: float
+
+
+def time_callable(func: Callable[..., R], *args: Any, **kwargs: Any) -> Timing:
+    """Run ``func(*args, **kwargs)`` and capture its wall-clock duration."""
+    with Timer() as timer:
+        value = func(*args, **kwargs)
+    return Timing(value=value, seconds=timer.elapsed)

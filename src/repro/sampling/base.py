@@ -1,0 +1,69 @@
+"""Sampler interface shared by all bipartite-graph sampling methods.
+
+The paper (§IV-A) decomposes the large detection problem into ``N`` sampled
+subgraphs drawn at ratio ``S``. Each sampler here is a small immutable
+strategy object: ``sampler.sample(graph, rng)`` returns a subgraph whose
+``user_labels`` / ``merchant_labels`` still reference the parent graph, so
+ensemble votes can be tallied per original node.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..graph import BipartiteGraph
+
+__all__ = ["Sampler", "check_ratio", "resolve_rng"]
+
+
+def check_ratio(ratio: float) -> float:
+    """Validate a sample ratio ``S ∈ (0, 1]``."""
+    ratio = float(ratio)
+    if not 0.0 < ratio <= 1.0:
+        raise SamplingError(f"sample ratio must be in (0, 1], got {ratio}")
+    return ratio
+
+
+def resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Accept a Generator, a seed, or ``None`` (fresh entropy)."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+class Sampler(ABC):
+    """A structural sampling method for bipartite graphs."""
+
+    #: short identifier used in experiment tables ("res", "ons_user", ...)
+    name: str = "sampler"
+
+    def __init__(self, ratio: float) -> None:
+        self.ratio = check_ratio(ratio)
+
+    @abstractmethod
+    def sample(
+        self, graph: BipartiteGraph, rng: np.random.Generator | int | None = None
+    ) -> BipartiteGraph:
+        """Draw one sampled subgraph of ``graph``."""
+
+    def sample_many(
+        self,
+        graph: BipartiteGraph,
+        n_samples: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[BipartiteGraph]:
+        """Draw ``n_samples`` independent subgraphs (the paper's ``N``)."""
+        if n_samples < 1:
+            raise SamplingError(f"n_samples must be >= 1, got {n_samples}")
+        generator = resolve_rng(rng)
+        return [self.sample(graph, generator) for _ in range(n_samples)]
+
+    def repetition_rate(self, n_samples: int) -> float:
+        """``R = S × N`` — expected number of times an element is resampled."""
+        return self.ratio * n_samples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(ratio={self.ratio})"

@@ -1,0 +1,53 @@
+"""Name-based construction of samplers.
+
+Experiments refer to sampling methods by the names the paper's Fig. 5 uses
+("Random_Edge_Bagging", "Node_Merchant_Bagging", ...); this registry maps
+those names — and terser aliases — to configured sampler instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SamplingError
+from .base import Sampler
+from .one_side import OneSideNodeSampler, Side
+from .random_edge import RandomEdgeSampler
+from .two_side import TwoSideNodeSampler
+
+__all__ = ["make_sampler", "available_samplers", "PAPER_FIG5_NAMES"]
+
+_FACTORIES: dict[str, Callable[[float], Sampler]] = {
+    "res": lambda ratio: RandomEdgeSampler(ratio),
+    "random_edge": lambda ratio: RandomEdgeSampler(ratio),
+    "random_edge_bagging": lambda ratio: RandomEdgeSampler(ratio),
+    "ons_user": lambda ratio: OneSideNodeSampler(ratio, Side.USER),
+    "node_pin_bagging": lambda ratio: OneSideNodeSampler(ratio, Side.USER),
+    "ons_merchant": lambda ratio: OneSideNodeSampler(ratio, Side.MERCHANT),
+    "node_merchant_bagging": lambda ratio: OneSideNodeSampler(ratio, Side.MERCHANT),
+    "tns": lambda ratio: TwoSideNodeSampler(ratio),
+    "two_sides_bagging": lambda ratio: TwoSideNodeSampler(ratio),
+}
+
+#: the four sampling variants of the paper's Fig. 5, by canonical name
+PAPER_FIG5_NAMES = (
+    "random_edge_bagging",
+    "node_merchant_bagging",
+    "node_pin_bagging",
+    "two_sides_bagging",
+)
+
+
+def available_samplers() -> list[str]:
+    """All recognised sampler names (sorted)."""
+    return sorted(_FACTORIES)
+
+
+def make_sampler(name: str, ratio: float) -> Sampler:
+    """Instantiate a sampler by (case-insensitive) name."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise SamplingError(
+            f"unknown sampler {name!r}; available: {', '.join(available_samplers())}"
+        )
+    return factory(ratio)

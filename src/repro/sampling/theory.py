@@ -1,0 +1,104 @@
+"""Theoretical results from §IV-A1: Lemma 1 and Theorem 1 made executable.
+
+The paper justifies edge sampling with two results:
+
+* **Lemma 1** — with node sampling (NS) the expected number of sampled nodes
+  of original degree ``q`` is ``E_NS[d_q] = f_D(q)·p_v``; with edge sampling
+  (ES) it is ``E_ES[d_q] = f_D(q)·(1 − (1 − p_e)^q)``. For
+  ``q > log(1−p_v)/log(1−p_e)`` edge sampling selects degree-``q`` nodes at a
+  higher rate — ES is biased toward exactly the dense structures we hunt.
+* **Theorem 1** — sampling edges independently with probability
+  ``p = 3(d+2)·ln n / (c·ε²)`` (and re-weighting by ``1/p``) yields a
+  subgraph whose density is an ``ε``-approximation of the original.
+
+These functions compute both sides of those statements so tests (and the
+benchmark suite) can check them empirically against the samplers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..graph import BipartiteGraph, degree_histogram
+
+__all__ = [
+    "expected_sampled_degree_counts_ns",
+    "expected_sampled_degree_counts_es",
+    "lemma1_crossover_degree",
+    "theorem1_edge_probability",
+    "epsilon_approximation_holds",
+]
+
+
+def expected_sampled_degree_counts_ns(
+    degrees: np.ndarray, p_v: float
+) -> dict[int, float]:
+    """``E_NS[d_q] = f_D(q) · p_v`` for every degree ``q`` present."""
+    if not 0.0 <= p_v <= 1.0:
+        raise SamplingError(f"p_v must be in [0, 1], got {p_v}")
+    return {q: count * p_v for q, count in degree_histogram(degrees).items()}
+
+
+def expected_sampled_degree_counts_es(
+    degrees: np.ndarray, p_e: float
+) -> dict[int, float]:
+    """``E_ES[d_q] = f_D(q) · (1 − (1 − p_e)^q)`` for every degree ``q``."""
+    if not 0.0 <= p_e <= 1.0:
+        raise SamplingError(f"p_e must be in [0, 1], got {p_e}")
+    return {
+        q: count * (1.0 - (1.0 - p_e) ** q)
+        for q, count in degree_histogram(degrees).items()
+    }
+
+
+def lemma1_crossover_degree(p_v: float, p_e: float) -> float:
+    """Degree above which ES out-samples NS: ``log(1−p_v) / log(1−p_e)``.
+
+    For ``q`` strictly greater than this value, ``E_ES[d_q] > E_NS[d_q]``.
+    """
+    if not 0.0 < p_v < 1.0 or not 0.0 < p_e < 1.0:
+        raise SamplingError("crossover degree needs p_v, p_e strictly inside (0, 1)")
+    return math.log(1.0 - p_v) / math.log(1.0 - p_e)
+
+
+def theorem1_edge_probability(
+    graph: BipartiteGraph, epsilon: float, d: float = 1.0
+) -> float:
+    """Theorem 1's sampling probability ``p = 3(d+2)·ln n / (c·ε²)``.
+
+    ``n`` is the node count and ``c`` the minimum node degree (the theorem
+    assumes ``c = Ω(ln n)``; we clamp ``c ≥ 1`` so the formula stays defined
+    on arbitrary inputs). The result is clipped to ``(0, 1]``.
+    """
+    if epsilon <= 0:
+        raise SamplingError(f"epsilon must be positive, got {epsilon}")
+    n = max(graph.n_nodes, 2)
+    degrees = np.concatenate([graph.user_degrees(), graph.merchant_degrees()])
+    positive = degrees[degrees > 0]
+    c = float(positive.min()) if positive.size else 1.0
+    c = max(c, 1.0)
+    p = 3.0 * (d + 2.0) * math.log(n) / (c * epsilon * epsilon)
+    return float(min(1.0, p))
+
+
+def epsilon_approximation_holds(
+    original_density: float, sampled_density: float, epsilon: float
+) -> bool:
+    """Check Theorem 1's sandwich: ``(1−ε)·φ̂ < φ < (1+ε)·φ̂``.
+
+    ``φ`` is the original density and ``φ̂`` the (re-weighted) sampled
+    density. Degenerate zero densities count as approximated only when both
+    sides are zero.
+    """
+    if epsilon <= 0:
+        raise SamplingError(f"epsilon must be positive, got {epsilon}")
+    if sampled_density == 0.0:
+        return original_density == 0.0
+    return (
+        (1.0 - epsilon) * sampled_density
+        < original_density
+        < (1.0 + epsilon) * sampled_density
+    )

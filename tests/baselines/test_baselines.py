@@ -1,0 +1,164 @@
+"""Unit & behavioural tests for the comparison methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DegreeDetector,
+    FBoxDetector,
+    FraudarDetector,
+    SpokenDetector,
+)
+from repro.errors import DetectionError
+from repro.graph import BipartiteGraph
+
+
+class TestFraudar:
+    def test_invalid_params(self):
+        with pytest.raises(DetectionError):
+            FraudarDetector(n_blocks=0)
+        with pytest.raises(DetectionError):
+            FraudarDetector(min_block_edges=0)
+
+    def test_detects_planted_block_first(self, planted_graph):
+        graph, injection = planted_graph
+        result = FraudarDetector(n_blocks=3).detect(graph)
+        first_users = set(result.blocks[0].user_labels.tolist())
+        truth = set(injection.fraud_user_labels.tolist())
+        assert len(first_users & truth) / len(truth) >= 0.8
+
+    def test_blocks_bounded(self, planted_graph):
+        graph, _ = planted_graph
+        result = FraudarDetector(n_blocks=2).detect(graph)
+        assert len(result.blocks) <= 2
+
+    def test_cumulative_detections_grow(self, planted_graph):
+        graph, _ = planted_graph
+        result = FraudarDetector(n_blocks=4).detect(graph)
+        points = result.cumulative_detections()
+        sizes = [labels.size for _, labels in points]
+        assert sizes == sorted(sizes)
+        assert points[0][0] == 1
+
+    def test_detected_users_union(self, planted_graph):
+        graph, _ = planted_graph
+        result = FraudarDetector(n_blocks=4).detect(graph)
+        all_users = set(result.detected_users().tolist())
+        first = set(result.detected_users(1).tolist())
+        assert first <= all_users
+
+    def test_empty_graph(self):
+        result = FraudarDetector(n_blocks=3).detect(BipartiteGraph.empty(5, 5))
+        assert result.blocks == ()
+        assert result.detected_users().size == 0
+        assert result.detected_merchants().size == 0
+
+    def test_densities_non_increasing_in_practice(self, planted_graph):
+        graph, _ = planted_graph
+        result = FraudarDetector(n_blocks=5).detect(graph)
+        densities = [b.density for b in result.blocks]
+        # refresh-weight drift can cause tiny wiggles; allow 5% slack
+        for earlier, later in zip(densities, densities[1:]):
+            assert later <= earlier * 1.05
+
+
+class TestSpoken:
+    def test_scores_shape_and_range(self, planted_graph):
+        graph, _ = planted_graph
+        scores = SpokenDetector(n_components=5).score(graph)
+        assert scores.user_scores.shape == (graph.n_users,)
+        assert scores.merchant_scores.shape == (graph.n_merchants,)
+        assert np.all(scores.user_scores >= 0)
+        assert np.all(scores.user_scores <= 1.0 + 1e-9)
+
+    def test_components_clamped_to_rank(self):
+        graph = BipartiteGraph.from_edges(
+            [(u, v) for u in range(3) for v in range(3)], n_users=3, n_merchants=3
+        )
+        scores = SpokenDetector(n_components=25).score(graph)
+        assert scores.n_components <= 2
+
+    def test_planted_block_scores_high(self, planted_graph):
+        graph, injection = planted_graph
+        scores = SpokenDetector(n_components=8).score(graph)
+        truth_mask = np.isin(graph.user_labels, injection.fraud_user_labels)
+        fraud_mean = scores.user_scores[truth_mask].mean()
+        normal_mean = scores.user_scores[~truth_mask].mean()
+        assert fraud_mean > normal_mean
+
+    def test_top_users(self, planted_graph):
+        graph, _ = planted_graph
+        scores = SpokenDetector(n_components=5).score(graph)
+        top = scores.top_users(10)
+        assert top.size == 10
+        assert np.all(np.diff(scores.user_scores[top]) <= 1e-12)
+
+    def test_too_small_graph_rejected(self):
+        graph = BipartiteGraph.from_edges([(0, 0)])
+        with pytest.raises(DetectionError):
+            SpokenDetector().score(graph)
+
+    def test_invalid_components(self):
+        with pytest.raises(DetectionError):
+            SpokenDetector(n_components=0)
+
+
+class TestFBox:
+    def test_scores_shape_and_range(self, planted_graph):
+        graph, _ = planted_graph
+        scores = FBoxDetector(n_components=5).score(graph)
+        assert scores.user_scores.shape == (graph.n_users,)
+        assert np.all(scores.user_scores >= 0)
+        assert np.all(scores.user_scores <= 1.0)
+
+    def test_low_degree_users_never_flagged(self, planted_graph):
+        graph, _ = planted_graph
+        detector = FBoxDetector(n_components=5, min_degree=3)
+        scores = detector.score(graph)
+        low = graph.user_degrees() < 3
+        assert np.all(scores.user_scores[low] == 0)
+
+    def test_detect_users_threshold(self, planted_graph):
+        graph, _ = planted_graph
+        detector = FBoxDetector(n_components=5)
+        strict = detector.detect_users(graph, tau=0.05)
+        loose = detector.detect_users(graph, tau=0.5)
+        assert strict.size <= loose.size
+
+    def test_invalid_tau(self, planted_graph):
+        graph, _ = planted_graph
+        with pytest.raises(DetectionError):
+            FBoxDetector().detect_users(graph, tau=0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(DetectionError):
+            FBoxDetector(n_components=0)
+        with pytest.raises(DetectionError):
+            FBoxDetector(min_degree=-1)
+        with pytest.raises(DetectionError):
+            FBoxDetector(n_degree_buckets=0)
+
+    def test_too_small_graph_rejected(self):
+        graph = BipartiteGraph.from_edges([(0, 0)])
+        with pytest.raises(DetectionError):
+            FBoxDetector().score(graph)
+
+
+class TestDegreeDetector:
+    def test_scores_are_degrees(self, tiny_graph):
+        scores = DegreeDetector().score_users(tiny_graph)
+        assert scores.tolist() == [2.0, 1.0, 1.0, 2.0]
+
+    def test_weighted_variant(self):
+        graph = BipartiteGraph(2, 1, [0, 1], [0, 0], edge_weights=[5.0, 1.0])
+        scores = DegreeDetector(weighted=True).score_users(graph)
+        assert scores.tolist() == [5.0, 1.0]
+
+    def test_top_users(self, tiny_graph):
+        top = DegreeDetector().top_users(tiny_graph, 2)
+        assert set(top.tolist()) == {0, 3}
+
+    def test_top_users_clamped(self, tiny_graph):
+        assert DegreeDetector().top_users(tiny_graph, 99).size == 4

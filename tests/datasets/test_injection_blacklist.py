@@ -1,0 +1,162 @@
+"""Unit tests for fraud injection and the blacklist ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Blacklist,
+    FraudBlockSpec,
+    inject_fraud_blocks,
+    uniform_bipartite,
+)
+from repro.errors import DatasetError
+
+
+class TestFraudBlockSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 0, "n_merchants": 5},
+            {"n_users": 5, "n_merchants": 0},
+            {"n_users": 5, "n_merchants": 5, "density": 0.0},
+            {"n_users": 5, "n_merchants": 5, "density": 1.5},
+            {"n_users": 5, "n_merchants": 5, "reuse_merchant_fraction": -0.1},
+            {"n_users": 5, "n_merchants": 5, "camouflage_per_user": -1},
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(DatasetError):
+            FraudBlockSpec(**kwargs)
+
+
+class TestInjection:
+    def test_new_users_appended(self, rng):
+        background = uniform_bipartite(50, 30, 100, rng=rng)
+        result = inject_fraud_blocks(
+            background, [FraudBlockSpec(10, 4, density=0.5)], rng
+        )
+        assert result.graph.n_users == 60
+        assert np.all(result.fraud_user_labels >= 50)
+
+    def test_every_fraud_user_buys_something(self, rng):
+        background = uniform_bipartite(50, 30, 100, rng=rng)
+        result = inject_fraud_blocks(
+            background, [FraudBlockSpec(12, 3, density=0.05)], rng
+        )
+        degrees = result.graph.user_degrees()
+        assert np.all(degrees[result.fraud_user_labels] >= 1)
+
+    def test_merchant_reuse_zero_creates_all_new(self, rng):
+        background = uniform_bipartite(50, 30, 100, rng=rng)
+        result = inject_fraud_blocks(
+            background,
+            [FraudBlockSpec(5, 4, density=0.8, reuse_merchant_fraction=0.0)],
+            rng,
+        )
+        assert result.graph.n_merchants == 34
+        assert np.all(result.fraud_merchant_labels >= 30)
+
+    def test_merchant_reuse_one_creates_none(self, rng):
+        background = uniform_bipartite(50, 30, 100, rng=rng)
+        result = inject_fraud_blocks(
+            background,
+            [FraudBlockSpec(5, 4, density=0.8, reuse_merchant_fraction=1.0)],
+            rng,
+        )
+        assert result.graph.n_merchants == 30
+
+    def test_camouflage_adds_edges_to_background_merchants(self, rng):
+        background = uniform_bipartite(50, 30, 100, rng=rng)
+        plain = inject_fraud_blocks(
+            background,
+            [FraudBlockSpec(8, 3, density=1.0, reuse_merchant_fraction=0.0)],
+            np.random.default_rng(0),
+        )
+        camo = inject_fraud_blocks(
+            background,
+            [
+                FraudBlockSpec(
+                    8, 3, density=1.0, reuse_merchant_fraction=0.0, camouflage_per_user=2
+                )
+            ],
+            np.random.default_rng(0),
+        )
+        assert camo.graph.n_edges == plain.graph.n_edges + 16
+
+    def test_multiple_blocks_tracked_separately(self, rng):
+        background = uniform_bipartite(50, 30, 100, rng=rng)
+        result = inject_fraud_blocks(
+            background,
+            [FraudBlockSpec(5, 2, density=0.9), FraudBlockSpec(7, 3, density=0.9)],
+            rng,
+        )
+        assert len(result.block_user_labels) == 2
+        assert result.fraud_user_labels.size == 12
+        assert result.block_user_labels[0].size == 5
+
+    def test_no_blocks_is_identity(self, rng):
+        background = uniform_bipartite(20, 10, 30, rng=rng)
+        result = inject_fraud_blocks(background, [], rng)
+        assert result.graph is background
+        assert len(result.blacklist) == 0
+
+    def test_blacklist_matches_fraud_users(self, rng):
+        background = uniform_bipartite(50, 30, 100, rng=rng)
+        result = inject_fraud_blocks(background, [FraudBlockSpec(6, 3, density=0.7)], rng)
+        assert result.blacklist.labels == frozenset(result.fraud_user_labels.tolist())
+
+
+class TestBlacklist:
+    def test_basic_set_semantics(self):
+        blacklist = Blacklist([3, 1, 2, 3])
+        assert len(blacklist) == 3
+        assert 2 in blacklist
+        assert 99 not in blacklist
+        assert blacklist.as_array().tolist() == [1, 2, 3]
+
+    def test_mask(self):
+        blacklist = Blacklist([1, 3])
+        mask = blacklist.mask(np.array([0, 1, 2, 3]))
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_equality_and_hash(self):
+        assert Blacklist([1, 2]) == Blacklist([2, 1])
+        assert hash(Blacklist([1])) == hash(Blacklist([1]))
+
+    def test_noise_drop(self, rng):
+        blacklist = Blacklist(range(200))
+        noisy = blacklist.with_noise(
+            np.arange(1000), drop_fraction=0.5, add_fraction=0.0, rng=rng
+        )
+        assert 40 <= len(noisy) <= 160  # ~binomial(200, 0.5)
+        assert noisy.labels <= blacklist.labels
+
+    def test_noise_add_draws_from_normals(self, rng):
+        blacklist = Blacklist(range(100))
+        noisy = blacklist.with_noise(
+            np.arange(1000), drop_fraction=0.0, add_fraction=0.5, rng=rng
+        )
+        assert len(noisy) == 150
+        added = noisy.labels - blacklist.labels
+        assert all(label >= 100 for label in added)
+
+    def test_noise_validation(self, rng):
+        blacklist = Blacklist([1])
+        with pytest.raises(DatasetError):
+            blacklist.with_noise(np.arange(10), drop_fraction=1.0, rng=rng)
+        with pytest.raises(DatasetError):
+            blacklist.with_noise(np.arange(10), add_fraction=-0.5, rng=rng)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        blacklist = Blacklist([5, 2, 9])
+        path = tmp_path / "blacklist.json"
+        blacklist.save(path)
+        assert Blacklist.load(path) == blacklist
+
+    def test_load_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "an array"}')
+        with pytest.raises(DatasetError):
+            Blacklist.load(path)

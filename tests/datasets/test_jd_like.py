@@ -1,0 +1,119 @@
+"""Unit tests for JD-like datasets, stats rows and persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    JD_CONFIGS,
+    dataset_row,
+    datasets_table,
+    load_dataset,
+    make_all_jd_datasets,
+    make_jd_dataset,
+    save_dataset,
+    toy_dataset,
+)
+from repro.errors import DatasetError
+
+
+SCALE = 0.08  # tiny but structurally faithful
+
+
+class TestMakeJdDataset:
+    def test_invalid_index(self):
+        with pytest.raises(DatasetError):
+            make_jd_dataset(4)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            make_jd_dataset(1, scale=0.0)
+
+    def test_sizes_track_config_ratios(self):
+        dataset = make_jd_dataset(1, scale=SCALE, seed=0)
+        config = JD_CONFIGS[1]
+        # fraud users and merchants are appended on top of the background
+        assert dataset.graph.n_users >= int(config.n_users * SCALE)
+        assert dataset.graph.n_edges >= int(config.n_edges * SCALE)
+
+    def test_reproducible(self):
+        a = make_jd_dataset(2, scale=SCALE, seed=5)
+        b = make_jd_dataset(2, scale=SCALE, seed=5)
+        assert a.graph == b.graph
+        assert a.blacklist == b.blacklist
+
+    def test_different_indices_differ(self):
+        a = make_jd_dataset(1, scale=SCALE, seed=0)
+        b = make_jd_dataset(2, scale=SCALE, seed=0)
+        assert a.graph.n_users != b.graph.n_users
+
+    def test_blacklist_overlaps_planted_fraud(self):
+        dataset = make_jd_dataset(1, scale=0.2, seed=0)
+        planted = set(dataset.clean_fraud_labels.tolist())
+        listed = set(dataset.blacklist.labels)
+        # noise drops ~30% and adds ~45%, so overlap is large but partial
+        overlap = len(planted & listed) / len(planted)
+        assert 0.5 <= overlap <= 0.95
+
+    def test_fraud_users_have_high_degree(self):
+        dataset = make_jd_dataset(1, scale=0.2, seed=0)
+        degrees = dataset.graph.user_degrees()
+        fraud_mean = degrees[dataset.clean_fraud_labels].mean()
+        assert fraud_mean > degrees.mean() * 2
+
+    def test_name_encodes_scale(self):
+        assert make_jd_dataset(1, scale=1.0, seed=0).name == "jd1"
+        assert "@" in make_jd_dataset(1, scale=0.5, seed=0).name
+
+    def test_params_provenance(self):
+        dataset = make_jd_dataset(3, scale=SCALE, seed=7)
+        assert dataset.params["index"] == 3
+        assert dataset.params["seed"] == 7
+        assert dataset.params["n_fraud_planted"] == dataset.clean_fraud_labels.size
+
+    def test_make_all(self):
+        datasets = make_all_jd_datasets(scale=SCALE, seed=0)
+        assert [d.params["index"] for d in datasets] == [1, 2, 3]
+
+
+class TestStatsRows:
+    def test_dataset_row_layout(self):
+        dataset = make_jd_dataset(1, scale=SCALE, seed=0)
+        row = dataset_row(dataset)
+        assert set(row) == {"dataset", "node_pin", "fraud_pin", "node_merchant", "edge"}
+        assert row["node_pin"] == dataset.graph.n_users
+
+    def test_datasets_table(self):
+        datasets = make_all_jd_datasets(scale=SCALE, seed=0)
+        table = datasets_table(datasets)
+        assert len(table) == 3
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        dataset = make_jd_dataset(1, scale=SCALE, seed=0)
+        save_dataset(dataset, tmp_path / "jd1")
+        loaded = load_dataset(tmp_path / "jd1")
+        assert loaded.name == dataset.name
+        assert loaded.graph == dataset.graph
+        assert loaded.blacklist == dataset.blacklist
+        assert np.array_equal(loaded.clean_fraud_labels, dataset.clean_fraud_labels)
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "nope")
+
+
+class TestToyDataset:
+    def test_deterministic(self):
+        assert toy_dataset(0).graph == toy_dataset(0).graph
+
+    def test_has_planted_fraud(self, toy):
+        assert toy.clean_fraud_labels.size == 55
+        assert len(toy.blacklist) == 55  # clean labels: no noise
+
+    def test_fraud_blocks_denser_than_background(self, toy):
+        degrees = toy.graph.user_degrees()
+        fraud_mean = degrees[toy.clean_fraud_labels].mean()
+        assert fraud_mean > 2 * degrees.mean()

@@ -1,0 +1,76 @@
+"""Unit tests for synthetic background generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import chung_lu_bipartite, powerlaw_weights, uniform_bipartite
+from repro.errors import DatasetError
+from repro.graph import degree_gini, has_duplicate_edges
+
+
+class TestPowerlawWeights:
+    def test_bounds(self, rng):
+        weights = powerlaw_weights(1000, exponent=2.0, rng=rng, w_min=1.0, w_max=50.0)
+        assert weights.min() >= 1.0
+        assert weights.max() <= 50.0
+
+    def test_empty(self, rng):
+        assert powerlaw_weights(0, 2.0, rng).size == 0
+
+    def test_invalid_exponent(self, rng):
+        with pytest.raises(DatasetError):
+            powerlaw_weights(10, 0.0, rng)
+
+    def test_heavier_tail_for_smaller_exponent(self, rng):
+        light = powerlaw_weights(5000, exponent=3.0, rng=rng)
+        heavy = powerlaw_weights(5000, exponent=1.3, rng=rng)
+        assert heavy.max() / heavy.mean() > light.max() / light.mean()
+
+
+class TestChungLu:
+    def test_sizes(self, rng):
+        graph = chung_lu_bipartite(300, 100, 900, rng=rng)
+        assert graph.n_users == 300
+        assert graph.n_merchants == 100
+        # dedup removes a few collisions but stays close to target
+        assert 700 <= graph.n_edges <= 900
+
+    def test_no_duplicate_edges_after_dedup(self, rng):
+        graph = chung_lu_bipartite(100, 50, 600, rng=rng)
+        assert not has_duplicate_edges(graph)
+
+    def test_duplicates_kept_when_requested(self, rng):
+        graph = chung_lu_bipartite(20, 10, 500, rng=rng, deduplicate=False)
+        assert graph.n_edges == 500
+
+    def test_heavy_tail_realised(self, rng):
+        graph = chung_lu_bipartite(2000, 800, 6000, rng=rng)
+        assert degree_gini(graph.merchant_degrees()) > 0.3
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(DatasetError):
+            chung_lu_bipartite(0, 10, 5, rng=rng)
+        with pytest.raises(DatasetError):
+            chung_lu_bipartite(10, 10, -1, rng=rng)
+
+    def test_seeded_reproducibility(self):
+        a = chung_lu_bipartite(100, 40, 300, rng=9)
+        b = chung_lu_bipartite(100, 40, 300, rng=9)
+        assert a == b
+
+
+class TestUniform:
+    def test_sizes(self, rng):
+        graph = uniform_bipartite(100, 50, 200, rng=rng)
+        assert graph.n_users == 100
+        assert graph.n_edges <= 200
+
+    def test_flat_degrees(self, rng):
+        graph = uniform_bipartite(2000, 1000, 6000, rng=rng)
+        assert degree_gini(graph.user_degrees()) < 0.45
+
+    def test_invalid(self, rng):
+        with pytest.raises(DatasetError):
+            uniform_bipartite(0, 5, 10, rng=rng)

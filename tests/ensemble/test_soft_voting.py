@@ -1,0 +1,79 @@
+"""Tests for the density-weighted (soft) vote extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ensemble import (
+    EnsemFDet,
+    EnsemFDetConfig,
+    SoftVoteTable,
+    soft_threshold_sweep,
+    soft_votes_from_detections,
+)
+from repro.errors import AggregationError
+from repro.fdet import FdetConfig
+from repro.sampling import RandomEdgeSampler
+
+
+@pytest.fixture(scope="module")
+def fitted(toy):
+    config = EnsemFDetConfig(
+        sampler=RandomEdgeSampler(0.4),
+        n_samples=12,
+        fdet=FdetConfig(max_blocks=6),
+        seed=0,
+        executor="thread",
+    )
+    return EnsemFDet(config).fit(toy.graph)
+
+
+class TestSoftVotes:
+    def test_scores_accumulate(self, fitted):
+        table = soft_votes_from_detections(list(fitted.sample_detections))
+        assert table.n_samples == 12
+        assert table.max_user_score() > 0
+
+    def test_normalised_scores_bounded_by_n_samples(self, fitted):
+        table = soft_votes_from_detections(
+            list(fitted.sample_detections), normalize_per_sample=True
+        )
+        # each sample contributes at most ~1.0 (the first block's own weight)
+        assert table.max_user_score() <= fitted.n_samples + 1e-9
+
+    def test_detect_threshold_filters(self, fitted):
+        table = soft_votes_from_detections(list(fitted.sample_detections))
+        top = table.max_user_score()
+        strict = table.detect(top)
+        loose = table.detect(top / 10)
+        assert strict.n_users <= loose.n_users
+
+    def test_invalid_threshold(self, fitted):
+        table = soft_votes_from_detections(list(fitted.sample_detections))
+        with pytest.raises(AggregationError):
+            table.detect(0.0)
+
+    def test_sweep_monotone(self, fitted):
+        table = soft_votes_from_detections(list(fitted.sample_detections))
+        sweep = soft_threshold_sweep(table, n_points=20)
+        assert sweep, "sweep should produce points"
+        thresholds = [t for t, _ in sweep]
+        sizes = [d.n_users for _, d in sweep]
+        assert thresholds == sorted(thresholds)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_soft_votes_rank_fraud_high(self, fitted, toy):
+        """Planted fraud users accumulate more density mass than normals."""
+        table = soft_votes_from_detections(list(fitted.sample_detections))
+        truth = set(toy.clean_fraud_labels.tolist())
+        fraud_scores = [s for label, s in table.user_scores.items() if label in truth]
+        normal_scores = [s for label, s in table.user_scores.items() if label not in truth]
+        assert fraud_scores, "fraud users must receive soft votes"
+        if normal_scores:
+            assert np.mean(fraud_scores) > np.mean(normal_scores)
+
+    def test_empty_detections(self):
+        table = soft_votes_from_detections([])
+        assert table.max_user_score() == 0.0
+        assert soft_threshold_sweep(table) == []

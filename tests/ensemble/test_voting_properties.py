@@ -1,0 +1,72 @@
+"""Property-based tests for vote aggregation invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ensemble import VoteTable, majority_vote
+
+
+@st.composite
+def detection_rounds(draw):
+    """Random per-sample detection label sets."""
+    n_samples = draw(st.integers(1, 12))
+    label_pool = st.integers(0, 30)
+    return [
+        draw(st.lists(label_pool, max_size=10, unique=True)) for _ in range(n_samples)
+    ]
+
+
+@given(detection_rounds())
+@settings(max_examples=80, deadline=None)
+def test_threshold_one_equals_union(rounds):
+    table = VoteTable.from_detections(rounds, [[] for _ in rounds])
+    detected = set(majority_vote(table, 1).user_labels.tolist())
+    union = set()
+    for labels in rounds:
+        union |= set(labels)
+    assert detected == union
+
+
+@given(detection_rounds())
+@settings(max_examples=80, deadline=None)
+def test_detection_monotone_decreasing_in_threshold(rounds):
+    table = VoteTable.from_detections(rounds, [[] for _ in rounds])
+    previous = None
+    for threshold in range(1, len(rounds) + 2):
+        current = set(majority_vote(table, threshold).user_labels.tolist())
+        if previous is not None:
+            assert current <= previous
+        previous = current
+
+
+@given(detection_rounds())
+@settings(max_examples=80, deadline=None)
+def test_votes_never_exceed_n_samples(rounds):
+    table = VoteTable.from_detections(rounds, [[] for _ in rounds])
+    assert table.max_user_votes() <= table.n_samples
+    # threshold above N always yields nothing
+    assert majority_vote(table, table.n_samples + 1).n_users == 0
+
+
+@given(detection_rounds())
+@settings(max_examples=60, deadline=None)
+def test_vote_histogram_accounts_for_every_voted_label(rounds):
+    table = VoteTable.from_detections(rounds, [[] for _ in rounds])
+    histogram = table.vote_histogram()
+    assert sum(histogram.values()) == len(table.user_votes)
+    assert all(1 <= votes <= table.n_samples for votes in histogram)
+
+
+@given(detection_rounds(), st.permutations(range(12)))
+@settings(max_examples=40, deadline=None)
+def test_vote_counts_order_invariant(rounds, order):
+    """Shuffling the sample order must not change any tally."""
+    table = VoteTable.from_detections(rounds, [[] for _ in rounds])
+    shuffled = [rounds[i % len(rounds)] for i in order[: len(rounds)]]
+    # build a permutation of the actual rounds (order trimmed to length)
+    if sorted(map(tuple, map(sorted, shuffled))) != sorted(map(tuple, map(sorted, rounds))):
+        return  # the trimmed permutation did not cover all rounds; skip
+    reshuffled = VoteTable.from_detections(shuffled, [[] for _ in shuffled])
+    assert reshuffled.user_votes == table.user_votes

@@ -1,0 +1,87 @@
+"""Tests for the experiment infrastructure."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import SCALES, ExperimentResult, render_table
+from repro.experiments.base import resolve_scale
+
+
+class TestScalePresets:
+    def test_known_presets(self):
+        assert {"tiny", "small", "full"} <= set(SCALES)
+
+    def test_resolve_by_name(self):
+        assert resolve_scale("tiny").name == "tiny"
+
+    def test_resolve_passthrough(self):
+        preset = SCALES["small"]
+        assert resolve_scale(preset) is preset
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_scale("gigantic")
+
+    def test_full_matches_paper_parameters(self):
+        full = SCALES["full"]
+        assert full.fraudar_blocks == 30  # paper Table III
+        assert full.svd_components == 25  # paper SpokEn setting
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment="demo",
+            title="Demo",
+            rows=[{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25, "c": "x"}],
+            meta={"seed": 0},
+        )
+
+    def test_render_contains_all_columns(self):
+        text = self.make().render()
+        assert "a" in text and "b" in text and "c" in text
+        assert "demo" in text
+
+    def test_render_empty(self):
+        empty = ExperimentResult(experiment="e", title="t", rows=[])
+        assert "(no rows)" in empty.render()
+
+    def test_render_truncation(self):
+        result = ExperimentResult(
+            experiment="e", title="t", rows=[{"x": i} for i in range(100)]
+        )
+        text = result.render(max_rows=5)
+        assert "more rows" in text
+
+    def test_to_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        self.make().to_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "demo"
+        assert len(payload["rows"]) == 2
+
+    def test_to_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        self.make().to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert len(lines) == 3
+
+    def test_series(self):
+        assert self.make().series("a") == [1, 2]
+        assert self.make().series("c") == ["x"]
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table([{"col": 1}, {"col": 22222}])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all rows same width
+
+    def test_float_formatting(self):
+        text = render_table([{"v": 0.123456789}])
+        assert "0.1235" in text

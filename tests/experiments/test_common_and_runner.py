@@ -1,0 +1,83 @@
+"""Tests for experiment plumbing: common helpers and the runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import SCALES, run_experiments
+from repro.experiments.common import (
+    dataset_for,
+    fdet_config_for,
+    fit_ensemble,
+    threshold_grid,
+)
+from repro.experiments.runner import main as runner_main
+from repro.fdet import FixedKRule
+from repro.sampling import RandomEdgeSampler
+
+
+class TestThresholdGrid:
+    def test_small_n_full_grid(self):
+        assert threshold_grid(5) == [1, 2, 3, 4, 5]
+
+    def test_large_n_subsampled(self):
+        grid = threshold_grid(200, max_points=20)
+        assert len(grid) <= 20
+        assert grid[0] >= 1
+        assert grid[-1] <= 200
+        assert grid == sorted(grid)
+
+    def test_boundary(self):
+        assert threshold_grid(1) == [1]
+
+
+class TestCommonHelpers:
+    def test_dataset_for_uses_preset_scale(self):
+        preset = SCALES["tiny"]
+        dataset = dataset_for(1, preset, seed=0)
+        assert dataset.params["scale"] == preset.dataset_scale
+
+    def test_fdet_config_for_truncation_override(self):
+        preset = SCALES["tiny"]
+        config = fdet_config_for(preset, truncation=FixedKRule(3))
+        assert isinstance(config.truncation, FixedKRule)
+        assert config.max_blocks == preset.max_blocks
+
+    def test_fit_ensemble_overrides(self):
+        preset = SCALES["tiny"]
+        dataset = dataset_for(1, preset, seed=0)
+        result = fit_ensemble(
+            dataset,
+            preset,
+            seed=0,
+            sampler=RandomEdgeSampler(0.5),
+            n_samples=3,
+            executor="serial",
+        )
+        assert result.n_samples == 3
+        assert result.config.sampler.ratio == 0.5
+
+
+class TestRunner:
+    def test_run_experiments_writes_artifacts(self, tmp_path):
+        results = run_experiments(["table1"], scale="tiny", seed=0, outdir=tmp_path)
+        assert len(results) == 1
+        assert (tmp_path / "table1.csv").exists()
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert payload["experiment"] == "table1"
+        assert "wall_seconds" in payload["meta"]
+
+    def test_runner_main_cli(self, capsys, tmp_path):
+        code = runner_main(["table1", "--scale", "tiny", "--outdir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert (tmp_path / "table1.json").exists()
+
+    def test_runner_unknown_experiment(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_experiments(["fig42"], scale="tiny")

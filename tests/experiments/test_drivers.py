@@ -1,0 +1,149 @@
+"""Smoke + shape tests for every experiment driver at tiny scale.
+
+Each driver must run end-to-end, produce well-formed rows, and satisfy the
+cheap structural assertions that the corresponding paper artifact implies.
+Heavier qualitative assertions live in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import all_experiment_ids, get_experiment
+from repro.experiments.registry import EXPERIMENTS
+
+SCALE = "tiny"
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every registered experiment once (module-scoped: they are slow)."""
+    return {
+        experiment_id: get_experiment(experiment_id).run(scale=SCALE, seed=0)
+        for experiment_id in all_experiment_ids()
+    }
+
+
+class TestRegistry:
+    def test_all_ids_registered(self):
+        assert set(all_experiment_ids()) == set(EXPERIMENTS)
+        assert len(all_experiment_ids()) == 10
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_ids_match_classes(self):
+        for experiment_id, cls in EXPERIMENTS.items():
+            assert cls.id == experiment_id
+            assert cls.paper_artifact
+
+
+class TestAllDriversRun:
+    def test_everything_produced_rows(self, results):
+        for experiment_id, result in results.items():
+            assert result.rows, f"{experiment_id} produced no rows"
+            assert result.experiment == experiment_id
+
+    def test_metadata_has_scale(self, results):
+        for result in results.values():
+            assert result.meta.get("scale") == SCALE
+
+
+class TestTable1:
+    def test_three_datasets(self, results):
+        rows = results["table1"].rows
+        assert len(rows) == 3
+        assert all(row["fraud_pin"] > 0 for row in rows)
+        assert all(row["edge"] > row["node_merchant"] for row in rows)
+
+
+class TestFig1:
+    def test_scores_positive_and_kept_prefix(self, results):
+        rows = results["fig1"].rows
+        assert all(row["score"] > 0 for row in rows)
+        # "kept" must be a prefix property: kept implies block <= k_hat
+        for row in rows:
+            assert row["kept"] == (row["block"] <= row["k_hat"])
+
+    def test_first_block_scores_highest_per_sample(self, results):
+        rows = results["fig1"].rows
+        by_sample: dict[int, list] = {}
+        for row in rows:
+            by_sample.setdefault(row["sample"], []).append(row)
+        for sample_rows in by_sample.values():
+            first = next(r for r in sample_rows if r["block"] == 1)
+            assert first["score"] == max(r["score"] for r in sample_rows)
+
+
+class TestFig3:
+    def test_all_methods_on_all_datasets(self, results):
+        rows = results["fig3"].rows
+        methods = {row["method"] for row in rows}
+        assert methods == {"ensemfdet", "fraudar", "spoken", "fbox"}
+        datasets = {row["dataset"] for row in rows}
+        assert len(datasets) == 3
+
+    def test_rates_bounded(self, results):
+        for row in results["fig3"].rows:
+            assert 0 <= row["precision"] <= 1
+            assert 0 <= row["recall"] <= 1
+
+
+class TestFig4:
+    def test_gap_metadata_present(self, results):
+        gaps = results["fig4"].meta["gaps"]
+        assert len(gaps) == 3
+        for value in gaps.values():
+            assert value["fraudar_max_gap"] >= 0
+            assert value["ensemfdet_max_gap"] >= 0
+
+
+class TestTable3:
+    def test_timings_positive(self, results):
+        for row in results["table3"].rows:
+            assert row["ensemfdet_sec"] > 0
+            assert row["fraudar_sec"] > 0
+            assert row["paper_speedup"] > 5
+
+
+class TestFig5:
+    def test_all_four_samplers(self, results):
+        samplers = {row["sampler"] for row in results["fig5"].rows}
+        assert len(samplers) == 4
+
+
+class TestFig6:
+    def test_two_variants_and_khat_recorded(self, results):
+        result = results["fig6"]
+        variants = {row["variant"] for row in result.rows}
+        assert len(variants) == 2
+        assert result.meta["max_observed_k_hat"] >= 1
+
+
+class TestFig7:
+    def test_n_sweep_shape(self, results):
+        ns = sorted({row["n_samples"] for row in results["fig7"].rows})
+        assert len(ns) >= 3  # tiny preset may collapse the smallest two
+        assert all(ns[i] < ns[i + 1] for i in range(len(ns) - 1))
+
+
+class TestFig8:
+    def test_repetition_roughly_constant(self, results):
+        rows = results["fig8"].rows
+        repetitions = {
+            round(row["sample_ratio"] * row["n_samples"], 1) for row in rows
+        }
+        # allow rounding slack: all repetition rates within a factor ~1.5
+        assert max(repetitions) / min(repetitions) < 1.6
+
+
+class TestFig9:
+    def test_monotone_t_behaviour(self, results):
+        rows = [r for r in results["fig9"].rows if r["dataset"].startswith("jd1")]
+        rows.sort(key=lambda r: r["T"])
+        detected = [r["n_detected"] for r in rows]
+        recalls = [r["recall"] for r in rows]
+        assert detected == sorted(detected, reverse=True)
+        assert recalls == sorted(recalls, reverse=True)

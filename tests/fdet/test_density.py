@@ -1,0 +1,86 @@
+"""Unit tests for density metrics (paper Definition 2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DetectionError
+from repro.fdet import AverageDegreeDensity, LogWeightedDensity, PAPER_DENSITY
+from repro.graph import BipartiteGraph
+
+
+class TestLogWeightedDensity:
+    def test_edge_weight_formula(self, tiny_graph):
+        metric = LogWeightedDensity(c=5.0)
+        weights = metric.edge_weights(tiny_graph)
+        # every merchant has degree 2 -> weight 1/log(7)
+        assert np.allclose(weights, 1.0 / math.log(7.0))
+
+    def test_high_degree_merchants_penalised(self):
+        metric = LogWeightedDensity()
+        low = metric.merchant_degree_weights(np.array([1]))
+        high = metric.merchant_degree_weights(np.array([1000]))
+        assert low[0] > high[0]
+
+    def test_weights_strictly_positive_even_for_degree_zero(self):
+        metric = LogWeightedDensity(c=5.0)
+        assert metric.merchant_degree_weights(np.array([0]))[0] > 0
+
+    def test_c_must_exceed_one(self):
+        with pytest.raises(DetectionError):
+            LogWeightedDensity(c=1.0)
+        with pytest.raises(DetectionError):
+            LogWeightedDensity(c=0.5)
+
+    def test_density_of_clique(self, clique_graph):
+        metric = LogWeightedDensity(c=5.0)
+        # 20 edges, every merchant degree 5 -> weight 1/log(10); 9 nodes
+        expected = 20.0 * (1.0 / math.log(10.0)) / 9.0
+        assert metric.density(clique_graph) == pytest.approx(expected)
+
+    def test_density_of_empty_graph(self):
+        assert LogWeightedDensity().density(BipartiteGraph.empty(0, 0)) == 0.0
+
+    def test_density_counts_isolated_nodes_in_denominator(self):
+        one_edge = BipartiteGraph.from_edges([(0, 0)], n_users=1, n_merchants=1)
+        padded = BipartiteGraph.from_edges([(0, 0)], n_users=10, n_merchants=1)
+        metric = LogWeightedDensity()
+        assert metric.density(padded) < metric.density(one_edge)
+
+    def test_external_degree_source(self, tiny_graph):
+        metric = LogWeightedDensity(c=5.0)
+        frozen = np.array([100, 100, 100])
+        weights = metric.edge_weights(tiny_graph, merchant_degrees=frozen)
+        assert np.allclose(weights, 1.0 / math.log(105.0))
+
+    def test_external_degree_source_wrong_length(self, tiny_graph):
+        with pytest.raises(DetectionError):
+            LogWeightedDensity().edge_weights(tiny_graph, merchant_degrees=np.array([1]))
+
+    def test_graph_edge_weights_multiply(self):
+        graph = BipartiteGraph(1, 1, [0], [0], edge_weights=[2.0])
+        metric = LogWeightedDensity(c=5.0)
+        assert metric.edge_weights(graph)[0] == pytest.approx(2.0 / math.log(6.0))
+
+    def test_paper_density_factory(self):
+        metric = PAPER_DENSITY()
+        assert isinstance(metric, LogWeightedDensity)
+        assert metric.c == 5.0
+
+
+class TestAverageDegreeDensity:
+    def test_all_edges_weigh_one(self, tiny_graph):
+        metric = AverageDegreeDensity()
+        assert np.allclose(metric.edge_weights(tiny_graph), 1.0)
+
+    def test_density_is_edges_over_nodes(self, clique_graph):
+        metric = AverageDegreeDensity()
+        assert metric.density(clique_graph) == pytest.approx(20.0 / 9.0)
+
+    def test_node_weights_default_none(self, tiny_graph):
+        metric = AverageDegreeDensity()
+        assert metric.user_weights(tiny_graph) is None
+        assert metric.merchant_weights(tiny_graph) is None

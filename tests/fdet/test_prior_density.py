@@ -1,0 +1,66 @@
+"""Tests for the prior-weighted density extension (Fraudar's a_i hook)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DetectionError
+from repro.fdet import Fdet, FdetConfig, PriorWeightedDensity
+from repro.graph import BipartiteGraph
+
+
+def two_cliques() -> BipartiteGraph:
+    """Two equally dense 3x3 bicliques on users {0..2} and {3..5}."""
+    edges = [(u, v) for u in range(3) for v in range(3)]
+    edges += [(3 + u, 3 + v) for u in range(3) for v in range(3)]
+    return BipartiteGraph.from_edges(edges, n_users=6, n_merchants=6)
+
+
+class TestPriorWeightedDensity:
+    def test_negative_priors_rejected(self):
+        with pytest.raises(DetectionError):
+            PriorWeightedDensity(user_priors={1: -0.5})
+
+    def test_no_priors_behaves_like_log_weighted(self, clique_graph):
+        from repro.fdet import LogWeightedDensity
+
+        plain = LogWeightedDensity()
+        with_hook = PriorWeightedDensity()
+        assert with_hook.density(clique_graph) == pytest.approx(plain.density(clique_graph))
+        assert with_hook.user_weights(clique_graph) is None
+
+    def test_priors_lookup_by_label(self):
+        graph = BipartiteGraph(
+            2, 1, [0, 1], [0, 0], user_labels=[100, 200], merchant_labels=[300]
+        )
+        metric = PriorWeightedDensity(user_priors={200: 2.0}, merchant_priors={300: 1.0})
+        users = metric.user_weights(graph)
+        merchants = metric.merchant_weights(graph)
+        assert users.tolist() == [0.0, 2.0]
+        assert merchants.tolist() == [1.0]
+
+    def test_priors_survive_subgraphing(self):
+        graph = BipartiteGraph(
+            2, 1, [0, 1], [0, 0], user_labels=[100, 200], merchant_labels=[300]
+        )
+        metric = PriorWeightedDensity(user_priors={200: 2.0})
+        sub = graph.edge_subgraph([1])  # only user 200 remains
+        assert metric.user_weights(sub).tolist() == [2.0]
+
+    def test_priors_break_tie_between_equal_blocks(self):
+        """Side information steers FDET toward the flagged clique first."""
+        graph = two_cliques()
+        plain_first = Fdet(FdetConfig(max_blocks=1)).detect(graph).all_blocks[0]
+        assert set(plain_first.user_labels.tolist()) == {0, 1, 2, 3, 4, 5}  # tie: both kept
+
+        hinted = PriorWeightedDensity(user_priors={3: 1.0, 4: 1.0, 5: 1.0})
+        config = FdetConfig(metric=hinted, max_blocks=1)
+        first = Fdet(config).detect(graph).all_blocks[0]
+        assert set(first.user_labels.tolist()) == {3, 4, 5}
+
+    def test_density_includes_prior_mass(self):
+        graph = BipartiteGraph.from_edges([(0, 0)])
+        metric = PriorWeightedDensity(user_priors={0: 4.0})
+        plain = PriorWeightedDensity()
+        assert metric.density(graph) == pytest.approx(plain.density(graph) + 2.0)

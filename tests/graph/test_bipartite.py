@@ -1,0 +1,199 @@
+"""Unit tests for the core BipartiteGraph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph import BipartiteGraph
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.n_users == 4
+        assert tiny_graph.n_merchants == 3
+        assert tiny_graph.n_edges == 6
+        assert tiny_graph.n_nodes == 7
+
+    def test_default_labels_are_arange(self, tiny_graph):
+        assert np.array_equal(tiny_graph.user_labels, np.arange(4))
+        assert np.array_equal(tiny_graph.merchant_labels, np.arange(3))
+
+    def test_empty_graph(self):
+        graph = BipartiteGraph.empty(3, 2)
+        assert graph.is_empty
+        assert graph.n_edges == 0
+        assert graph.n_nodes == 5
+
+    def test_from_edges_infers_sizes(self):
+        graph = BipartiteGraph.from_edges([(2, 5)])
+        assert graph.n_users == 3
+        assert graph.n_merchants == 6
+
+    def test_from_edges_empty(self):
+        graph = BipartiteGraph.from_edges([])
+        assert graph.n_users == 0
+        assert graph.n_merchants == 0
+        assert graph.is_empty
+
+    def test_from_edges_deduplicate(self):
+        graph = BipartiteGraph.from_edges([(0, 0), (0, 0), (0, 1)], deduplicate=True)
+        assert graph.n_edges == 2
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph(1, 1, [1], [0])
+
+    def test_out_of_range_merchant_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph(1, 1, [0], [5])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph(2, 2, [-1], [0])
+
+    def test_mismatched_endpoint_arrays_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph(2, 2, [0, 1], [0])
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph(2, 2, [0], [0], edge_weights=[1.0, 2.0])
+
+    def test_mismatched_labels_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph(2, 2, [0], [0], user_labels=[7])
+
+    def test_negative_partition_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph(-1, 2, [], [])
+
+    def test_equality(self, tiny_graph):
+        clone = BipartiteGraph(
+            4, 3, tiny_graph.edge_users.copy(), tiny_graph.edge_merchants.copy()
+        )
+        assert tiny_graph == clone
+
+    def test_inequality_different_edges(self, tiny_graph):
+        other = BipartiteGraph.from_edges([(0, 0)], n_users=4, n_merchants=3)
+        assert tiny_graph != other
+
+    def test_equality_non_graph(self, tiny_graph):
+        assert tiny_graph != "not a graph"
+
+
+class TestDegrees:
+    def test_user_degrees(self, tiny_graph):
+        assert tiny_graph.user_degrees().tolist() == [2, 1, 1, 2]
+
+    def test_merchant_degrees(self, tiny_graph):
+        assert tiny_graph.merchant_degrees().tolist() == [2, 2, 2]
+
+    def test_degrees_sum_to_edges(self, tiny_graph):
+        assert tiny_graph.user_degrees().sum() == tiny_graph.n_edges
+        assert tiny_graph.merchant_degrees().sum() == tiny_graph.n_edges
+
+    def test_weighted_degrees_default_ones(self, tiny_graph):
+        assert np.allclose(
+            tiny_graph.weighted_user_degrees(), tiny_graph.user_degrees().astype(float)
+        )
+
+    def test_weighted_degrees_with_weights(self):
+        graph = BipartiteGraph(2, 1, [0, 1], [0, 0], edge_weights=[2.0, 0.5])
+        assert np.allclose(graph.weighted_user_degrees(), [2.0, 0.5])
+        assert np.allclose(graph.weighted_merchant_degrees(), [2.5])
+
+    def test_weights_or_ones_unweighted(self, tiny_graph):
+        assert np.array_equal(tiny_graph.weights_or_ones(), np.ones(6))
+
+
+class TestAdjacency:
+    def test_user_adjacency_partitions_edges(self, tiny_graph):
+        indptr, edge_index = tiny_graph.user_adjacency()
+        assert indptr[-1] == tiny_graph.n_edges
+        assert sorted(edge_index.tolist()) == list(range(6))
+
+    def test_user_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.user_neighbors(0).tolist()) == [0, 1]
+        assert sorted(tiny_graph.user_neighbors(3).tolist()) == [1, 2]
+
+    def test_merchant_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.merchant_neighbors(0).tolist()) == [0, 1]
+
+    def test_iter_edges(self, tiny_graph):
+        edges = list(tiny_graph.iter_edges())
+        assert len(edges) == 6
+        assert (0, 0) in edges
+
+
+class TestSubgraphs:
+    def test_edge_subgraph_compacts_nodes(self, tiny_graph):
+        sub = tiny_graph.edge_subgraph([3])  # edge (2, 2)
+        assert sub.n_users == 1
+        assert sub.n_merchants == 1
+        assert sub.n_edges == 1
+        assert sub.user_labels.tolist() == [2]
+        assert sub.merchant_labels.tolist() == [2]
+
+    def test_edge_subgraph_empty_selection(self, tiny_graph):
+        sub = tiny_graph.edge_subgraph([])
+        assert sub.is_empty
+        assert sub.n_users == 0
+
+    def test_edge_subgraph_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphValidationError):
+            tiny_graph.edge_subgraph([99])
+
+    def test_edge_subgraph_keeps_weights(self):
+        graph = BipartiteGraph(2, 2, [0, 1], [0, 1], edge_weights=[3.0, 4.0])
+        sub = graph.edge_subgraph([1])
+        assert sub.edge_weights.tolist() == [4.0]
+
+    def test_induced_subgraph_both_sides(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph(users=[0, 1], merchants=[0])
+        # edges (0,0) and (1,0) survive
+        assert sub.n_edges == 2
+        assert set(sub.user_labels.tolist()) == {0, 1}
+        assert set(sub.merchant_labels.tolist()) == {0}
+
+    def test_induced_subgraph_none_keeps_side(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph(users=[0])
+        assert sub.n_edges == 2  # both of user 0's edges
+        assert set(sub.merchant_labels.tolist()) == {0, 1}
+
+    def test_induced_keep_isolated(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph(
+            users=[0, 2], merchants=[0, 1], keep_isolated=True
+        )
+        # user 2 only buys at merchant 2, so it is isolated here but kept
+        assert sub.n_users == 2
+        assert sub.n_merchants == 2
+        assert sub.n_edges == 2
+
+    def test_induced_drop_isolated(self, tiny_graph):
+        sub = tiny_graph.induced_subgraph(users=[0, 2], merchants=[0, 1])
+        assert sub.n_users == 1  # user 2 dropped
+        assert set(sub.user_labels.tolist()) == {0}
+
+    def test_label_propagation_through_two_levels(self, tiny_graph):
+        first = tiny_graph.edge_subgraph([0, 1, 5])  # users {0, 3}
+        second = first.edge_subgraph([2])  # the (3, 2) edge
+        assert second.user_labels.tolist() == [3]
+        assert second.merchant_labels.tolist() == [2]
+
+    def test_remove_edges_keeps_nodes(self, tiny_graph):
+        out = tiny_graph.remove_edges([0, 1])
+        assert out.n_users == tiny_graph.n_users
+        assert out.n_merchants == tiny_graph.n_merchants
+        assert out.n_edges == 4
+
+    def test_remove_all_edges(self, tiny_graph):
+        out = tiny_graph.remove_edges(np.arange(6))
+        assert out.is_empty
+        assert out.n_nodes == tiny_graph.n_nodes
+
+    def test_with_weights_roundtrip(self, tiny_graph):
+        weighted = tiny_graph.with_weights(np.full(6, 2.0))
+        assert weighted.is_weighted
+        assert weighted.with_weights(None).edge_weights is None

@@ -1,0 +1,74 @@
+"""Tests for one-mode bipartite projections."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import (
+    BipartiteGraph,
+    co_purchase_counts,
+    project_merchants,
+    project_users,
+)
+
+
+def shared_merchant_graph() -> BipartiteGraph:
+    """Users 0,1 share merchants 0 and 1; user 2 shares merchant 1 with both."""
+    return BipartiteGraph.from_edges(
+        [(0, 0), (1, 0), (0, 1), (1, 1), (2, 1)], n_users=3, n_merchants=2
+    )
+
+
+class TestProjectUsers:
+    def test_shared_counts(self):
+        projection = project_users(shared_merchant_graph())
+        assert projection[0, 1] == 2  # two shared merchants
+        assert projection[0, 2] == 1
+        assert projection[1, 2] == 1
+
+    def test_diagonal_removed(self):
+        projection = project_users(shared_merchant_graph())
+        assert projection.diagonal().sum() == 0
+
+    def test_symmetry(self):
+        projection = project_users(shared_merchant_graph())
+        assert (projection != projection.T).nnz == 0
+
+    def test_merchant_degree_cap(self):
+        # merchant 1 has degree 3; capping at 2 removes it from the projection
+        projection = project_users(shared_merchant_graph(), max_merchant_degree=2)
+        assert projection[0, 2] == 0
+        assert projection[0, 1] == 1  # only merchant 0 remains shared
+
+    def test_fraud_ring_forms_clique(self, planted_graph):
+        graph, injection = planted_graph
+        projection = project_users(graph)
+        ring = injection.fraud_user_labels
+        # in-block: every pair of the 15 ring users shares several merchants
+        sub = projection[np.ix_(ring, ring)]
+        n = ring.size
+        density = sub.nnz / (n * (n - 1))
+        assert density > 0.9
+
+
+class TestProjectMerchants:
+    def test_shared_buyers(self):
+        projection = project_merchants(shared_merchant_graph())
+        assert projection[0, 1] == 2  # merchants 0 and 1 share users 0 and 1
+
+    def test_user_degree_cap(self):
+        projection = project_merchants(shared_merchant_graph(), max_user_degree=1)
+        # users 0 and 1 have degree 2, dropped; user 2 has degree 1 but buys
+        # from only one merchant -> no co-purchases remain
+        assert projection.nnz == 0
+
+
+class TestCoPurchaseCounts:
+    def test_counts_match_projection(self):
+        graph = shared_merchant_graph()
+        counts = co_purchase_counts(graph, 0)
+        assert counts == {1: 2, 2: 1}
+
+    def test_isolated_user(self):
+        graph = BipartiteGraph.from_edges([(0, 0)], n_users=2, n_merchants=1)
+        assert co_purchase_counts(graph, 1) == {}

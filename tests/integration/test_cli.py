@@ -1,0 +1,68 @@
+"""Integration tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import load_dataset
+from repro.graph import save_edge_list
+
+
+@pytest.fixture
+def edges_file(tmp_path, toy):
+    path = tmp_path / "edges.tsv"
+    save_edge_list(toy.graph, path)
+    return path
+
+
+class TestDetectCommand:
+    def test_detect_prints_nodes(self, edges_file, capsys):
+        code = main(
+            [
+                "detect",
+                str(edges_file),
+                "--ratio", "0.4",
+                "--samples", "8",
+                "--threshold", "3",
+                "--executor", "thread",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# detected" in out
+        assert "user\t" in out
+
+    def test_default_threshold(self, edges_file, capsys):
+        code = main(
+            ["detect", str(edges_file), "--ratio", "0.4", "--samples", "8",
+             "--executor", "serial"]
+        )
+        assert code == 0
+        assert "T=2" in capsys.readouterr().out
+
+
+class TestDatasetCommand:
+    def test_generates_loadable_dataset(self, tmp_path, capsys):
+        outdir = tmp_path / "jd"
+        code = main(["dataset", str(outdir), "--index", "1", "--scale", "0.08"])
+        assert code == 0
+        dataset = load_dataset(outdir)
+        assert dataset.graph.n_edges > 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_stats_output(self, edges_file, capsys):
+        code = main(["stats", str(edges_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edges" in out
+        assert "avg_deg_user" in out
+
+
+class TestExperimentsCommand:
+    def test_runs_single_experiment(self, capsys):
+        code = main(["experiments", "table1", "--scale", "tiny"])
+        assert code == 0
+        assert "Table I" in capsys.readouterr().out

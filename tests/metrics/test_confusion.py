@@ -1,0 +1,62 @@
+"""Unit tests for confusion counts and derived rates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import Confusion, confusion_from_sets
+
+
+class TestConfusion:
+    def test_precision_recall_f1(self):
+        confusion = Confusion(tp=6, fp=2, fn=4)
+        assert confusion.precision == pytest.approx(0.75)
+        assert confusion.recall == pytest.approx(0.6)
+        assert confusion.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+
+    def test_zero_detected(self):
+        confusion = Confusion(tp=0, fp=0, fn=5)
+        assert confusion.precision == 0.0
+        assert confusion.recall == 0.0
+        assert confusion.f1 == 0.0
+
+    def test_zero_truth(self):
+        confusion = Confusion(tp=0, fp=3, fn=0)
+        assert confusion.recall == 0.0
+
+    def test_perfect(self):
+        confusion = Confusion(tp=10, fp=0, fn=0)
+        assert confusion.f1 == 1.0
+
+    def test_fpr_needs_tn(self):
+        with pytest.raises(ValueError):
+            _ = Confusion(tp=1, fp=1, fn=1).false_positive_rate
+        confusion = Confusion(tp=1, fp=1, fn=1, tn=7)
+        assert confusion.false_positive_rate == pytest.approx(1 / 8)
+
+    def test_as_row(self):
+        row = Confusion(tp=1, fp=1, fn=2).as_row()
+        assert row["n_detected"] == 2
+        assert 0 <= row["precision"] <= 1
+
+
+class TestConfusionFromSets:
+    def test_counts(self):
+        confusion = confusion_from_sets({1, 2, 3}, {2, 3, 4})
+        assert (confusion.tp, confusion.fp, confusion.fn) == (2, 1, 1)
+
+    def test_with_population(self):
+        confusion = confusion_from_sets({1}, {1, 2}, n_population=10)
+        assert confusion.tn == 8
+
+    def test_population_too_small(self):
+        with pytest.raises(ValueError):
+            confusion_from_sets({1, 2}, {3, 4}, n_population=3)
+
+    def test_empty_sets(self):
+        confusion = confusion_from_sets(set(), set())
+        assert confusion.f1 == 0.0
+
+    def test_accepts_iterables(self):
+        confusion = confusion_from_sets([1, 1, 2], (2, 3))
+        assert confusion.tp == 1

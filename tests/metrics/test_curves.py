@@ -1,0 +1,137 @@
+"""Unit & property tests for operating-curve utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    CurvePoint,
+    auc_pr,
+    best_f1,
+    curve_from_detections,
+    max_detected_gap,
+    pr_curve_from_scores,
+    precision_at_recall,
+)
+
+
+def point(threshold, n, p, r):
+    f1 = 2 * p * r / (p + r) if (p + r) else 0.0
+    return CurvePoint(threshold=threshold, n_detected=n, precision=p, recall=r, f1=f1)
+
+
+class TestPrCurveFromScores:
+    def test_perfect_separation(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.05])
+        truth = np.array([True, True, False, False])
+        points = pr_curve_from_scores(scores, truth)
+        assert any(p.precision == 1.0 and p.recall == 1.0 for p in points)
+
+    def test_shapes_checked(self):
+        with pytest.raises(ValueError):
+            pr_curve_from_scores(np.array([1.0]), np.array([True, False]))
+
+    def test_thresholds_descending_detection_growing(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(100)
+        truth = rng.random(100) < 0.2
+        points = pr_curve_from_scores(scores, truth)
+        sizes = [p.n_detected for p in points]
+        assert sizes == sorted(sizes)
+
+    def test_max_points_subsampling(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(500)
+        truth = rng.random(500) < 0.5
+        points = pr_curve_from_scores(scores, truth, max_points=10)
+        assert len(points) <= 10
+
+    def test_ties_handled(self):
+        scores = np.array([0.5, 0.5, 0.5])
+        truth = np.array([True, False, True])
+        points = pr_curve_from_scores(scores, truth)
+        assert len(points) == 1
+        assert points[0].n_detected == 3
+        assert points[0].precision == pytest.approx(2 / 3)
+
+
+class TestCurveFromDetections:
+    def test_basic(self):
+        points = curve_from_detections(
+            [(1.0, [1, 2]), (2.0, [1])], truth=[1, 3]
+        )
+        assert points[0].precision == pytest.approx(0.5)
+        assert points[1].precision == pytest.approx(1.0)
+        assert points[1].recall == pytest.approx(0.5)
+
+    def test_empty_detection(self):
+        points = curve_from_detections([(1.0, [])], truth=[1])
+        assert points[0].n_detected == 0
+        assert points[0].f1 == 0.0
+
+
+class TestCurveStatistics:
+    def test_max_detected_gap(self):
+        points = [point(1, 10, 0.5, 0.1), point(2, 500, 0.3, 0.4), point(3, 520, 0.2, 0.5)]
+        assert max_detected_gap(points) == 490
+
+    def test_max_detected_gap_sorts_first(self):
+        points = [point(1, 520, 0.2, 0.5), point(2, 10, 0.5, 0.1), point(3, 500, 0.3, 0.4)]
+        assert max_detected_gap(points) == 490
+
+    def test_max_detected_gap_degenerate(self):
+        assert max_detected_gap([]) == 0
+        assert max_detected_gap([point(1, 5, 0.5, 0.5)]) == 0
+
+    def test_auc_pr_unit_square(self):
+        points = [point(1, 1, 1.0, 0.0), point(2, 2, 1.0, 1.0)]
+        assert auc_pr(points) == pytest.approx(1.0)
+
+    def test_auc_pr_degenerate(self):
+        assert auc_pr([]) == 0.0
+        assert auc_pr([point(1, 1, 0.5, 0.5)]) == 0.0
+
+    def test_auc_keeps_best_precision_per_recall(self):
+        points = [point(1, 1, 0.2, 0.5), point(2, 2, 0.8, 0.5), point(3, 3, 0.6, 1.0)]
+        value = auc_pr(points)
+        assert value == pytest.approx((0.8 + 0.6) / 2 * 0.5)
+
+    def test_best_f1(self):
+        points = [point(1, 1, 1.0, 0.1), point(2, 5, 0.6, 0.6)]
+        assert best_f1(points).threshold == 2
+        assert best_f1([]) is None
+
+    def test_precision_at_recall(self):
+        points = [point(1, 1, 0.9, 0.2), point(2, 5, 0.5, 0.6)]
+        assert precision_at_recall(points, 0.5) == pytest.approx(0.5)
+        assert precision_at_recall(points, 0.9) == 0.0
+
+
+@given(
+    st.lists(st.floats(0, 1, allow_nan=False), min_size=5, max_size=60),
+    st.lists(st.booleans(), min_size=5, max_size=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_pr_curve_points_always_bounded(scores, truth):
+    n = min(len(scores), len(truth))
+    points = pr_curve_from_scores(np.array(scores[:n]), np.array(truth[:n]))
+    for p in points:
+        assert 0.0 <= p.precision <= 1.0
+        assert 0.0 <= p.recall <= 1.0
+        assert 0.0 <= p.f1 <= 1.0
+        assert 0 <= p.n_detected <= n
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_recall_monotone_as_threshold_loosens(data):
+    n = data.draw(st.integers(10, 60))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    scores = rng.random(n)
+    truth = rng.random(n) < 0.3
+    points = pr_curve_from_scores(scores, truth)
+    recalls = [p.recall for p in points]
+    assert recalls == sorted(recalls)

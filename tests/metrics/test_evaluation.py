@@ -1,0 +1,86 @@
+"""Tests for the detector-evaluation glue."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import DegreeDetector, FraudarDetector
+from repro.datasets import Blacklist
+from repro.ensemble import EnsemFDet, EnsemFDetConfig
+from repro.fdet import FdetConfig
+from repro.metrics import (
+    ensemble_threshold_curve,
+    evaluate_detection,
+    fraudar_block_curve,
+    score_curve,
+)
+from repro.sampling import RandomEdgeSampler
+
+
+def fitted(toy):
+    config = EnsemFDetConfig(
+        sampler=RandomEdgeSampler(0.4), n_samples=8, fdet=FdetConfig(max_blocks=5), seed=0
+    )
+    return EnsemFDet(config).fit(toy.graph)
+
+
+class TestEvaluateDetection:
+    def test_against_blacklist(self):
+        blacklist = Blacklist([1, 2, 3])
+        confusion = evaluate_detection(np.array([2, 3, 4]), blacklist)
+        assert confusion.tp == 2
+        assert confusion.fp == 1
+        assert confusion.fn == 1
+
+    def test_with_population(self):
+        blacklist = Blacklist([0])
+        confusion = evaluate_detection(np.array([0]), blacklist, n_population=10)
+        assert confusion.tn == 9
+
+
+class TestEnsembleCurve:
+    def test_full_sweep_length(self, toy):
+        result = fitted(toy)
+        curve = ensemble_threshold_curve(result, toy.blacklist)
+        assert len(curve) == result.n_samples
+        assert [p.threshold for p in curve] == list(range(1, 9))
+
+    def test_explicit_thresholds(self, toy):
+        result = fitted(toy)
+        curve = ensemble_threshold_curve(result, toy.blacklist, thresholds=[2, 4])
+        assert [p.threshold for p in curve] == [2.0, 4.0]
+
+    def test_detected_counts_decrease_with_t(self, toy):
+        curve = ensemble_threshold_curve(fitted(toy), toy.blacklist)
+        sizes = [p.n_detected for p in curve]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestFraudarCurve:
+    def test_one_point_per_block(self, toy):
+        result = FraudarDetector(n_blocks=5).detect(toy.graph)
+        curve = fraudar_block_curve(result, toy.blacklist)
+        assert len(curve) == len(result.blocks)
+        assert [p.threshold for p in curve] == [float(i) for i in range(1, len(curve) + 1)]
+
+    def test_cumulative_growth(self, toy):
+        result = FraudarDetector(n_blocks=5).detect(toy.graph)
+        curve = fraudar_block_curve(result, toy.blacklist)
+        sizes = [p.n_detected for p in curve]
+        assert sizes == sorted(sizes)
+
+
+class TestScoreCurve:
+    def test_degree_scores(self, toy):
+        scores = DegreeDetector().score_users(toy.graph)
+        curve = score_curve(toy.graph, scores, toy.blacklist, max_points=30)
+        assert len(curve) <= 30
+        assert all(0 <= p.f1 <= 1 for p in curve)
+
+    def test_labels_bridge_local_indices(self, toy):
+        # construct scores that flag exactly the planted fraud users
+        truth_mask = toy.blacklist.mask(toy.graph.user_labels)
+        scores = truth_mask.astype(float)
+        curve = score_curve(toy.graph, scores, toy.blacklist)
+        best = max(curve, key=lambda p: p.f1)
+        assert best.f1 == 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for the parallel-map substrate."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import ExecutorMode, Timer, default_workers, parallel_map, time_callable
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def failing(x: int) -> int:
+    raise ValueError(f"boom on {x}")
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("mode", ExecutorMode.ALL)
+    def test_preserves_order(self, mode):
+        items = list(range(20))
+        assert parallel_map(square, items, mode=mode) == [x * x for x in items]
+
+    @pytest.mark.parametrize("mode", ExecutorMode.ALL)
+    def test_empty_items(self, mode):
+        assert parallel_map(square, [], mode=mode) == []
+
+    def test_single_item_short_circuits(self):
+        assert parallel_map(square, [3], mode=ExecutorMode.PROCESS) == [9]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError, match="unknown executor"):
+            parallel_map(square, [1], mode="gpu")
+
+    @pytest.mark.parametrize("mode", [ExecutorMode.THREAD, ExecutorMode.PROCESS])
+    def test_exceptions_propagate(self, mode):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(failing, [1, 2], mode=mode)
+
+    def test_n_workers_one_falls_back_to_serial(self):
+        assert parallel_map(square, [1, 2, 3], mode=ExecutorMode.PROCESS, n_workers=1) == [1, 4, 9]
+
+    def test_generator_input(self):
+        assert parallel_map(square, (x for x in range(4)), mode=ExecutorMode.SERIAL) == [0, 1, 4, 9]
+
+
+class TestDefaultWorkers:
+    def test_capped_by_items(self):
+        assert default_workers(n_items=2) <= 2
+
+    def test_at_least_one(self):
+        assert default_workers(n_items=0) >= 1
+        assert default_workers() >= 1
+
+    def test_bounded_by_cpu(self):
+        assert default_workers() <= (os.cpu_count() or 1)
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_time_callable_returns_value(self):
+        timing = time_callable(square, 7)
+        assert timing.value == 49
+        assert timing.seconds >= 0

@@ -1,0 +1,155 @@
+"""Unit tests for the three sampling methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph import BipartiteGraph, assert_subgraph_of
+from repro.sampling import (
+    OneSideNodeSampler,
+    RandomEdgeSampler,
+    Side,
+    TwoSideNodeSampler,
+    recommend_side,
+)
+
+
+class TestRatioValidation:
+    @pytest.mark.parametrize("ratio", [0.0, -0.1, 1.5])
+    def test_bad_ratio_rejected(self, ratio):
+        with pytest.raises(SamplingError):
+            RandomEdgeSampler(ratio)
+
+    def test_ratio_one_allowed(self):
+        RandomEdgeSampler(1.0)
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(SamplingError):
+            OneSideNodeSampler(0.5, side="bogus")
+
+    def test_sample_many_needs_positive_count(self, tiny_graph):
+        with pytest.raises(SamplingError):
+            RandomEdgeSampler(0.5).sample_many(tiny_graph, 0)
+
+
+class TestRandomEdgeSampler:
+    def test_edge_count_matches_ratio(self, clique_graph, rng):
+        sub = RandomEdgeSampler(0.5).sample(clique_graph, rng)
+        assert sub.n_edges == 10  # ceil(0.5 * 20)
+
+    def test_is_subgraph(self, clique_graph, rng):
+        sub = RandomEdgeSampler(0.3).sample(clique_graph, rng)
+        assert_subgraph_of(sub, clique_graph)
+
+    def test_no_isolated_nodes(self, planted_graph, rng):
+        graph, _ = planted_graph
+        sub = RandomEdgeSampler(0.2).sample(graph, rng)
+        assert np.all(sub.user_degrees() > 0)
+        assert np.all(sub.merchant_degrees() > 0)
+
+    def test_ratio_one_keeps_all_edges(self, tiny_graph, rng):
+        sub = RandomEdgeSampler(1.0).sample(tiny_graph, rng)
+        assert sub.n_edges == tiny_graph.n_edges
+
+    def test_empty_graph(self, rng):
+        sub = RandomEdgeSampler(0.5).sample(BipartiteGraph.empty(3, 3), rng)
+        assert sub.is_empty
+
+    def test_reweight_scales_by_inverse_ratio(self, clique_graph, rng):
+        sub = RandomEdgeSampler(0.5, reweight=True).sample(clique_graph, rng)
+        assert np.allclose(sub.edge_weights, 2.0)
+
+    def test_seeded_reproducibility(self, clique_graph):
+        a = RandomEdgeSampler(0.4).sample(clique_graph, 7)
+        b = RandomEdgeSampler(0.4).sample(clique_graph, 7)
+        assert a == b
+
+    def test_sample_many_count_and_independence(self, clique_graph):
+        samples = RandomEdgeSampler(0.4).sample_many(clique_graph, 5, rng=3)
+        assert len(samples) == 5
+        # overwhelmingly unlikely that all five draws coincide
+        assert any(samples[0] != s for s in samples[1:])
+
+
+class TestOneSideNodeSampler:
+    def test_user_side_limits_users(self, clique_graph, rng):
+        sub = OneSideNodeSampler(0.4, Side.USER).sample(clique_graph, rng)
+        assert sub.n_users == 2  # ceil(0.4 * 5)
+        assert sub.n_merchants == 4  # all merchants touched
+
+    def test_merchant_side_limits_merchants(self, clique_graph, rng):
+        sub = OneSideNodeSampler(0.5, Side.MERCHANT).sample(clique_graph, rng)
+        assert sub.n_merchants == 2
+        assert sub.n_users == 5
+
+    def test_keeps_all_edges_of_sampled_users(self, tiny_graph):
+        sampler = OneSideNodeSampler(0.25, Side.USER)  # exactly one user
+        for seed in range(8):
+            sub = sampler.sample(tiny_graph, seed)
+            label = int(sub.user_labels[0])
+            expected = int((tiny_graph.edge_users == label).sum())
+            assert sub.n_edges == expected
+
+    def test_is_subgraph(self, planted_graph, rng):
+        graph, _ = planted_graph
+        sub = OneSideNodeSampler(0.3, Side.MERCHANT).sample(graph, rng)
+        assert_subgraph_of(sub, graph)
+
+    def test_keep_isolated_retains_nodes(self, rng):
+        # merchant 1 has no edges; strict matrix-slice keeps the sampled row set
+        graph = BipartiteGraph.from_edges([(0, 0)], n_users=1, n_merchants=2)
+        sub = OneSideNodeSampler(1.0, Side.MERCHANT, keep_isolated=True).sample(graph, rng)
+        assert sub.n_merchants == 2
+
+    def test_name_reflects_side(self):
+        assert OneSideNodeSampler(0.5, Side.USER).name == "ons_user"
+        assert OneSideNodeSampler(0.5, Side.MERCHANT).name == "ons_merchant"
+
+
+class TestTwoSideNodeSampler:
+    def test_both_sides_limited(self, clique_graph, rng):
+        sub = TwoSideNodeSampler(0.5).sample(clique_graph, rng)
+        assert sub.n_users <= 3
+        assert sub.n_merchants <= 2
+
+    def test_expected_edge_fraction(self):
+        assert TwoSideNodeSampler(0.1).expected_edge_fraction() == pytest.approx(0.01)
+        assert TwoSideNodeSampler(0.1, merchant_ratio=0.5).expected_edge_fraction() == pytest.approx(0.05)
+
+    def test_smaller_than_res_at_same_ratio(self, planted_graph):
+        graph, _ = planted_graph
+        ratio = 0.3
+        res_edges = np.mean(
+            [RandomEdgeSampler(ratio).sample(graph, s).n_edges for s in range(10)]
+        )
+        tns_edges = np.mean(
+            [TwoSideNodeSampler(ratio).sample(graph, s).n_edges for s in range(10)]
+        )
+        assert tns_edges < res_edges
+
+    def test_is_subgraph(self, planted_graph, rng):
+        graph, _ = planted_graph
+        sub = TwoSideNodeSampler(0.4).sample(graph, rng)
+        assert_subgraph_of(sub, graph)
+
+    def test_distinct_merchant_ratio(self, clique_graph, rng):
+        sub = TwoSideNodeSampler(1.0, merchant_ratio=0.25).sample(clique_graph, rng)
+        assert sub.n_merchants == 1
+        assert sub.n_users == 5  # every user buys at the surviving merchant
+
+
+class TestRecommendSide:
+    def test_denser_merchant_side_recommended(self):
+        # 6 users, 2 merchants: merchants are denser
+        graph = BipartiteGraph.from_edges(
+            [(u, u % 2) for u in range(6)], n_users=6, n_merchants=2
+        )
+        assert recommend_side(graph) == Side.MERCHANT
+
+    def test_denser_user_side_recommended(self):
+        graph = BipartiteGraph.from_edges(
+            [(u % 2, v) for u in range(6) for v in range(3)], n_users=2, n_merchants=3
+        )
+        assert recommend_side(graph) == Side.USER

@@ -1,0 +1,140 @@
+"""Tests of the Lemma-1 / Theorem-1 helpers, including empirical checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import chung_lu_bipartite
+from repro.errors import SamplingError
+from repro.fdet import LogWeightedDensity
+from repro.sampling import (
+    RandomEdgeSampler,
+    epsilon_approximation_holds,
+    expected_sampled_degree_counts_es,
+    expected_sampled_degree_counts_ns,
+    lemma1_crossover_degree,
+    theorem1_edge_probability,
+)
+
+
+class TestLemma1Formulas:
+    def test_ns_expectation_linear_in_p(self):
+        degrees = np.array([1, 1, 2, 3])
+        expected = expected_sampled_degree_counts_ns(degrees, 0.5)
+        assert expected == {1: 1.0, 2: 0.5, 3: 0.5}
+
+    def test_es_expectation_formula(self):
+        degrees = np.array([1, 2])
+        expected = expected_sampled_degree_counts_es(degrees, 0.5)
+        assert expected[1] == pytest.approx(0.5)
+        assert expected[2] == pytest.approx(0.75)  # 1 - 0.25
+
+    def test_es_exceeds_ns_above_crossover(self):
+        p_v, p_e = 0.3, 0.3
+        crossover = lemma1_crossover_degree(p_v, p_e)
+        degrees = np.arange(1, 30)
+        ns = expected_sampled_degree_counts_ns(degrees, p_v)
+        es = expected_sampled_degree_counts_es(degrees, p_e)
+        for q in degrees.tolist():
+            if q > crossover:
+                assert es[q] > ns[q], f"degree {q} should favour edge sampling"
+
+    def test_crossover_equals_one_for_equal_probs(self):
+        # log(1-p)/log(1-p) == 1: edge sampling wins for every degree > 1
+        assert lemma1_crossover_degree(0.2, 0.2) == pytest.approx(1.0)
+
+    def test_bad_probabilities_rejected(self):
+        degrees = np.array([1])
+        with pytest.raises(SamplingError):
+            expected_sampled_degree_counts_ns(degrees, 1.2)
+        with pytest.raises(SamplingError):
+            expected_sampled_degree_counts_es(degrees, -0.1)
+        with pytest.raises(SamplingError):
+            lemma1_crossover_degree(0.0, 0.5)
+
+    def test_empirical_es_bias_toward_high_degree(self):
+        """Edge sampling selects high-degree nodes more often than node sampling."""
+        graph = chung_lu_bipartite(400, 200, 1200, rng=5)
+        degrees = graph.user_degrees()
+        high = np.nonzero(degrees >= 6)[0]
+        if high.size == 0:
+            pytest.skip("generator produced no high-degree users at this seed")
+        ratio = 0.2
+        hits = 0
+        trials = 30
+        sampler = RandomEdgeSampler(ratio)
+        for seed in range(trials):
+            sub = sampler.sample(graph, seed)
+            sampled_users = set(sub.user_labels.tolist())
+            hits += sum(1 for u in high.tolist() if u in sampled_users)
+        es_rate = hits / (trials * high.size)
+        # node sampling would include them at exactly `ratio`
+        assert es_rate > ratio * 1.5
+
+
+class TestTheorem1:
+    def test_probability_clipped_to_one(self, tiny_graph):
+        assert theorem1_edge_probability(tiny_graph, epsilon=0.01) == 1.0
+
+    def test_probability_decreases_with_epsilon(self):
+        graph = chung_lu_bipartite(2000, 800, 8000, rng=2)
+        p_tight = theorem1_edge_probability(graph, epsilon=10.0)
+        p_loose = theorem1_edge_probability(graph, epsilon=20.0)
+        assert p_loose <= p_tight
+
+    def test_bad_epsilon_rejected(self, tiny_graph):
+        with pytest.raises(SamplingError):
+            theorem1_edge_probability(tiny_graph, epsilon=0.0)
+
+    def test_sandwich_check(self):
+        assert epsilon_approximation_holds(1.0, 1.05, epsilon=0.1)
+        assert not epsilon_approximation_holds(1.0, 2.0, epsilon=0.1)
+        assert epsilon_approximation_holds(0.0, 0.0, epsilon=0.5)
+        assert not epsilon_approximation_holds(1.0, 0.0, epsilon=0.5)
+        with pytest.raises(SamplingError):
+            epsilon_approximation_holds(1.0, 1.0, epsilon=0.0)
+
+    def test_reweighted_sampling_approximates_density(self):
+        """Empirical Theorem 1: re-weighted RES density ≈ original density.
+
+        Uses the average-degree flavour of the argument: total edge weight is
+        an unbiased estimator under 1/p re-weighting, so the density of the
+        sample (over its node set) lands near the original for dense graphs.
+        """
+        graph = chung_lu_bipartite(300, 150, 4000, rng=3, deduplicate=False)
+        metric = LogWeightedDensity()
+        original = metric.density(graph)
+        estimates = []
+        for seed in range(12):
+            sub = RandomEdgeSampler(0.5, reweight=True).sample(graph, seed)
+            # evaluate with the original graph's degree scale by mapping labels
+            estimates.append(metric.density(sub, graph.merchant_degrees()[sub.merchant_labels]))
+        mean = float(np.mean(estimates))
+        assert mean == pytest.approx(original, rel=0.35)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        from repro.sampling import available_samplers, make_sampler
+
+        for name in available_samplers():
+            sampler = make_sampler(name, 0.5)
+            assert sampler.ratio == 0.5
+
+    def test_paper_names_present(self):
+        from repro.sampling import PAPER_FIG5_NAMES, make_sampler
+
+        for name in PAPER_FIG5_NAMES:
+            make_sampler(name, 0.25)
+
+    def test_unknown_name_rejected(self):
+        from repro.sampling import make_sampler
+
+        with pytest.raises(SamplingError, match="unknown sampler"):
+            make_sampler("definitely-not-a-sampler", 0.5)
+
+    def test_repetition_rate(self):
+        from repro.sampling import RandomEdgeSampler
+
+        assert RandomEdgeSampler(0.1).repetition_rate(80) == pytest.approx(8.0)

@@ -1,0 +1,64 @@
+"""Tests for the logging helpers and the exception hierarchy."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro import errors
+from repro.logging_utils import enable_console_logging, get_logger, log_duration
+
+
+class TestLogger:
+    def test_namespaced_logger(self):
+        assert get_logger().name == "repro"
+        assert get_logger("fdet").name == "repro.fdet"
+
+    def test_enable_console_logging_idempotent(self):
+        logger = get_logger()
+        before = len(logger.handlers)
+        enable_console_logging()
+        enable_console_logging()
+        after = len(logger.handlers)
+        assert after <= before + 1
+
+    def test_log_duration_emits(self, caplog):
+        logger = get_logger("test")
+        with caplog.at_level(logging.INFO, logger="repro.test"):
+            with log_duration("doing work", logger):
+                pass
+        assert any("doing work" in record.message for record in caplog.records)
+
+    def test_log_duration_logs_even_on_exception(self, caplog):
+        logger = get_logger("test")
+        with caplog.at_level(logging.INFO, logger="repro.test"):
+            with pytest.raises(RuntimeError):
+                with log_duration("failing work", logger):
+                    raise RuntimeError("boom")
+        assert any("failing work" in record.message for record in caplog.records)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.GraphValidationError,
+            errors.EmptyGraphError,
+            errors.SamplingError,
+            errors.DetectionError,
+            errors.AggregationError,
+            errors.DatasetError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_validation_error_is_graph_error(self):
+        assert issubclass(errors.GraphValidationError, errors.GraphError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SamplingError("bad ratio")
