@@ -8,13 +8,16 @@ of the win; the ratio must still exceed 1 on the biggest dataset.)
 
 from __future__ import annotations
 
+import pytest
 from conftest import run_once
 
 from repro.experiments import get_experiment
+from repro.fdet import PeelEngine
 
 
-def test_table3_timing(benchmark, scale):
-    result = run_once(benchmark, get_experiment("table3").run, scale=scale, seed=0)
+@pytest.mark.parametrize("engine", PeelEngine.ALL)
+def test_table3_timing(benchmark, scale, engine):
+    result = run_once(benchmark, get_experiment("table3").run, scale=scale, seed=0, engine=engine)
     rows = {row["dataset"].split("@")[0]: row for row in result.rows}
 
     # runtimes grow with dataset size for the sequential baseline

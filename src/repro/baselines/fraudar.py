@@ -23,7 +23,7 @@ import numpy as np
 from ..errors import DetectionError
 from ..fdet.density import DensityMetric, LogWeightedDensity
 from ..fdet.fdet import Block
-from ..fdet.peeling import greedy_peel
+from ..fdet.peeling import PeelEngine, greedy_peel
 from ..graph import BipartiteGraph
 
 __all__ = ["FraudarDetector", "FraudarResult"]
@@ -75,6 +75,9 @@ class FraudarDetector:
         reference implementation's ``c = 5``.
     min_block_edges:
         Stop early when the next block would have fewer edges.
+    engine:
+        Peeling backend (see :class:`repro.fdet.PeelEngine`); both engines
+        return identical blocks.
     """
 
     def __init__(
@@ -82,6 +85,7 @@ class FraudarDetector:
         n_blocks: int = 30,
         metric: DensityMetric | None = None,
         min_block_edges: int = 1,
+        engine: str = PeelEngine.DEFAULT,
     ) -> None:
         if n_blocks < 1:
             raise DetectionError(f"n_blocks must be >= 1, got {n_blocks}")
@@ -90,6 +94,7 @@ class FraudarDetector:
         self.n_blocks = n_blocks
         self.metric = metric or LogWeightedDensity()
         self.min_block_edges = min_block_edges
+        self.engine = engine
 
     def detect(self, graph: BipartiteGraph) -> FraudarResult:
         """Extract up to ``n_blocks`` dense blocks from the full graph."""
@@ -104,6 +109,7 @@ class FraudarDetector:
                 edge_weights,
                 user_weights=self.metric.user_weights(current),
                 merchant_weights=self.metric.merchant_weights(current),
+                engine=self.engine,
             )
             block_edges = peel.edge_indices(current)
             if block_edges.size < self.min_block_edges:

@@ -16,7 +16,7 @@ import sys
 from .datasets import make_jd_dataset, save_dataset
 from .ensemble import EnsemFDet, EnsemFDetConfig
 from .experiments.runner import main as experiments_main
-from .fdet import FdetConfig
+from .fdet import FdetConfig, PeelEngine
 from .graph import describe, load_edge_list
 from .sampling import RandomEdgeSampler
 
@@ -28,7 +28,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     config = EnsemFDetConfig(
         sampler=RandomEdgeSampler(args.ratio),
         n_samples=args.samples,
-        fdet=FdetConfig(max_blocks=args.max_blocks),
+        fdet=FdetConfig(max_blocks=args.max_blocks, engine=args.engine),
         executor=args.executor,
         seed=args.seed,
     )
@@ -73,6 +73,12 @@ def main(argv: list[str] | None = None) -> int:
     detect.add_argument("--samples", type=int, default=40, help="ensemble size N")
     detect.add_argument("--threshold", type=int, default=None, help="voting threshold T")
     detect.add_argument("--max-blocks", type=int, default=15)
+    detect.add_argument(
+        "--engine",
+        choices=PeelEngine.ALL,
+        default=PeelEngine.DEFAULT,
+        help="peeling backend: 'fast' (vectorised + native core) or 'reference'",
+    )
     detect.add_argument("--executor", choices=("serial", "thread", "process"), default="process")
     detect.add_argument("--seed", type=int, default=0)
     detect.set_defaults(func=_cmd_detect)

@@ -20,7 +20,7 @@ import numpy as np
 from ..errors import DetectionError
 from ..fdet import FdetConfig, FdetResult
 from ..graph import BipartiteGraph
-from ..parallel import ExecutorMode, Timer
+from ..parallel import ExecutorMode, ReusablePool, Timer
 from ..sampling import RandomEdgeSampler, Sampler, resolve_rng
 from .results import DetectionResult
 from .runner import SampleDetection, detect_on_samples
@@ -124,10 +124,24 @@ class EnsemFDet:
     >>> detected = result.detect(threshold=4)
     >>> detected.n_users > 0
     True
+
+    Parameters
+    ----------
+    config:
+        Ensemble configuration (sampling, FDET incl. peeling engine,
+        executor backend).
+    pool:
+        Optional :class:`repro.parallel.ReusablePool`; when given, every
+        :meth:`fit` runs its detection stage on these warm workers instead
+        of starting a fresh pool (worth it when fitting many ensembles —
+        threshold sweeps, figure experiments, services).
     """
 
-    def __init__(self, config: EnsemFDetConfig | None = None) -> None:
+    def __init__(
+        self, config: EnsemFDetConfig | None = None, pool: ReusablePool | None = None
+    ) -> None:
         self.config = config or EnsemFDetConfig()
+        self.pool = pool
 
     def fit(self, graph: BipartiteGraph) -> EnsemFDetResult:
         """Sample, detect in parallel, and tally votes on ``graph``."""
@@ -143,6 +157,7 @@ class EnsemFDet:
                 config.fdet,
                 mode=config.executor,
                 n_workers=config.n_workers,
+                pool=self.pool,
             )
 
         table = VoteTable.from_detections(

@@ -1,17 +1,23 @@
 """Parallel execution of FDET across sampled subgraphs (paper Fig. 2).
 
 The mapping ``sampled graph -> FdetResult`` is stateless, so it is exposed as
-a module-level function (picklable for the process backend) plus a thin
+module-level functions (picklable for the process backend) plus a thin
 driver that threads the executor configuration through.
+
+Process-backed runs submit the samples in **one chunk per worker**: the
+``FdetConfig`` rides along once per chunk instead of being re-pickled with
+every one of the ``N`` samples, and each worker unpickles it once. Pass a
+:class:`repro.parallel.ReusablePool` to amortise worker start-up across
+repeated fits as well.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..fdet import Fdet, FdetConfig, FdetResult
 from ..graph import BipartiteGraph
-from ..parallel import ExecutorMode, parallel_map
+from ..parallel import ExecutorMode, ReusablePool, default_workers, parallel_map
 
 __all__ = ["detect_on_samples", "SampleDetection"]
 
@@ -25,14 +31,36 @@ class SampleDetection:
     sample_merchants: tuple[int, ...]
 
 
-def _detect_one(args: tuple[BipartiteGraph, FdetConfig]) -> SampleDetection:
-    graph, config = args
-    result = Fdet(config).detect(graph)
+def _detection(fdet: Fdet, graph: BipartiteGraph) -> SampleDetection:
     return SampleDetection(
-        result=result,
+        result=fdet.detect(graph),
         sample_users=tuple(graph.user_labels.tolist()),
         sample_merchants=tuple(graph.merchant_labels.tolist()),
     )
+
+
+def _detect_one(args: tuple[BipartiteGraph, FdetConfig]) -> SampleDetection:
+    graph, config = args
+    return _detection(Fdet(config), graph)
+
+
+def _detect_chunk(args: tuple[FdetConfig, list[BipartiteGraph]]) -> list[SampleDetection]:
+    config, graphs = args
+    fdet = Fdet(config)
+    return [_detection(fdet, graph) for graph in graphs]
+
+
+def _chunked(samples: list[BipartiteGraph], n_chunks: int) -> list[list[BipartiteGraph]]:
+    """Split into at most ``n_chunks`` contiguous, near-equal chunks."""
+    n_chunks = max(1, min(n_chunks, len(samples)))
+    base, extra = divmod(len(samples), n_chunks)
+    chunks: list[list[BipartiteGraph]] = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(samples[start : start + size])
+        start += size
+    return chunks
 
 
 def detect_on_samples(
@@ -40,14 +68,52 @@ def detect_on_samples(
     config: FdetConfig,
     mode: str = ExecutorMode.SERIAL,
     n_workers: int | None = None,
+    engine: str | None = None,
+    pool: ReusablePool | None = None,
 ) -> list[SampleDetection]:
     """Run FDET over every sampled subgraph, possibly in parallel.
 
     Results come back in sample order regardless of backend.
+
+    Parameters
+    ----------
+    samples:
+        The sampled subgraphs to detect on.
+    config:
+        FDET configuration applied to every sample.
+    mode, n_workers:
+        Executor backend and pool size (see :func:`repro.parallel.parallel_map`).
+    engine:
+        Optional peeling-engine override (``"reference"``/``"fast"``)
+        applied on top of ``config.engine``.
+    pool:
+        Optional :class:`ReusablePool` whose workers are reused instead of
+        starting a fresh pool for this call.
     """
-    return parallel_map(
-        _detect_one,
-        [(sample, config) for sample in samples],
-        mode=mode,
-        n_workers=n_workers,
+    if engine is not None and engine != config.engine:
+        config = replace(config, engine=engine)
+    if not samples:
+        return []
+
+    chunked = mode == ExecutorMode.PROCESS or (
+        pool is not None and pool.mode == ExecutorMode.PROCESS
     )
+    if not chunked:
+        return parallel_map(
+            _detect_one,
+            [(sample, config) for sample in samples],
+            mode=mode,
+            n_workers=n_workers,
+            pool=pool,
+        )
+
+    workers = pool.n_workers if pool is not None else (n_workers or default_workers(len(samples)))
+    chunks = _chunked(samples, workers)
+    chunk_results = parallel_map(
+        _detect_chunk,
+        [(config, chunk) for chunk in chunks],
+        mode=mode,
+        n_workers=min(workers, len(chunks)),
+        pool=pool,
+    )
+    return [detection for chunk in chunk_results for detection in chunk]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from ..datasets import Dataset, make_jd_dataset
 from ..ensemble import EnsemFDet, EnsemFDetConfig, EnsemFDetResult
-from ..fdet import FdetConfig, FixedKRule, SecondDifferenceRule, TruncationRule
+from ..fdet import FdetConfig, FixedKRule, PeelEngine, SecondDifferenceRule, TruncationRule
 from ..parallel import ExecutorMode
 from ..sampling import RandomEdgeSampler, Sampler
 from .base import ScalePreset
@@ -18,12 +18,15 @@ def dataset_for(index: int, preset: ScalePreset, seed: int) -> Dataset:
 
 
 def fdet_config_for(
-    preset: ScalePreset, truncation: TruncationRule | None = None
+    preset: ScalePreset,
+    truncation: TruncationRule | None = None,
+    engine: str | None = None,
 ) -> FdetConfig:
     """FDET configuration matching a scale preset."""
     return FdetConfig(
         max_blocks=preset.max_blocks,
         truncation=truncation or SecondDifferenceRule(),
+        engine=engine or PeelEngine.DEFAULT,
     )
 
 
@@ -35,12 +38,13 @@ def fit_ensemble(
     n_samples: int | None = None,
     truncation: TruncationRule | None = None,
     executor: str = ExecutorMode.PROCESS,
+    engine: str | None = None,
 ) -> EnsemFDetResult:
     """Fit EnsemFDet with preset-derived defaults (overridable per arg)."""
     config = EnsemFDetConfig(
         sampler=sampler or RandomEdgeSampler(preset.sample_ratio),
         n_samples=n_samples or preset.n_samples,
-        fdet=fdet_config_for(preset, truncation),
+        fdet=fdet_config_for(preset, truncation, engine),
         executor=executor,
         seed=seed,
     )

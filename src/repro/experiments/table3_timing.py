@@ -14,6 +14,7 @@ process pool. We report wall-clock, the speedup ratio, and the
 from __future__ import annotations
 
 from ..baselines import FraudarDetector
+from ..fdet import PeelEngine
 from ..parallel import time_callable
 from .base import Experiment, ExperimentResult, ScalePreset, resolve_scale
 from .common import dataset_for, fit_ensemble
@@ -37,15 +38,22 @@ class Table3Timing(Experiment):
 
     dataset_indices = (1, 2, 3)
 
-    def run(self, scale: str | ScalePreset = "small", seed: int = 0) -> ExperimentResult:
+    def run(
+        self,
+        scale: str | ScalePreset = "small",
+        seed: int = 0,
+        engine: str | None = None,
+    ) -> ExperimentResult:
         preset = resolve_scale(scale)
+        engine = engine or PeelEngine.DEFAULT
         rows = []
         for index in self.dataset_indices:
             dataset = dataset_for(index, preset, seed)
 
-            ensemble_timing = time_callable(fit_ensemble, dataset, preset, seed)
+            ensemble_timing = time_callable(fit_ensemble, dataset, preset, seed, engine=engine)
             fraudar_timing = time_callable(
-                FraudarDetector(n_blocks=preset.fraudar_blocks).detect, dataset.graph
+                FraudarDetector(n_blocks=preset.fraudar_blocks, engine=engine).detect,
+                dataset.graph,
             )
 
             paper = PAPER_TABLE3[f"jd{index}"]
@@ -73,4 +81,5 @@ class Table3Timing(Experiment):
             seed=seed,
             sample_ratio=preset.sample_ratio,
             n_samples=preset.n_samples,
+            engine=engine,
         )

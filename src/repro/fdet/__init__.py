@@ -8,7 +8,8 @@ from .density import (
     PriorWeightedDensity,
 )
 from .fdet import Block, Fdet, FdetConfig, FdetResult, WeightPolicy
-from .peeling import PeelResult, greedy_peel
+from .peeling import PeelEngine, PeelResult, greedy_peel
+from .peeling_fast import PeelContext, fast_peel
 from .truncation import (
     FirstDifferenceRule,
     FixedKRule,
@@ -28,8 +29,11 @@ __all__ = [
     "FdetConfig",
     "FdetResult",
     "WeightPolicy",
+    "PeelEngine",
     "PeelResult",
+    "PeelContext",
     "greedy_peel",
+    "fast_peel",
     "TruncationRule",
     "SecondDifferenceRule",
     "FirstDifferenceRule",

@@ -1,0 +1,149 @@
+"""On-demand compilation and loading of the C peeling kernel.
+
+The ``fast`` peel engine prefers a small dependency-free C kernel
+(``_peel_kernel.c``) driven through :mod:`ctypes`. The kernel has no
+Python.h dependency, so any system C compiler can build it; the shared
+object is cached in a per-user temp directory keyed by the source hash, so
+compilation happens at most once per source version per machine.
+
+Everything here degrades gracefully: no compiler, a failed compile, or
+``REPRO_NATIVE=0`` in the environment all simply yield ``None``, and the
+fast engine falls back to its pure-Python core (same results, smaller
+speedup). Nothing is ever installed — the toolchain already present on the
+host is all that is used.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import stat
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+__all__ = ["load_peel_kernel", "native_available"]
+
+_SOURCE_PATH = os.path.join(os.path.dirname(__file__), "_peel_kernel.c")
+
+_lock = threading.Lock()
+#: None = not yet attempted, False = unavailable, else the configured cfunc
+_kernel: object = None
+
+
+def _disabled_by_env() -> bool:
+    return os.environ.get("REPRO_NATIVE", "1").strip().lower() in ("0", "false", "no", "off")
+
+
+def _find_compiler() -> str | None:
+    override = os.environ.get("REPRO_CC")
+    if override:
+        return override if shutil.which(override) else None
+    for candidate in ("cc", "gcc", "clang"):
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get("REPRO_NATIVE_CACHE_DIR")
+    if configured:
+        return configured
+    home_cache = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    if not home_cache.startswith("~"):  # expansion succeeded
+        return os.path.join(home_cache, "repro-native")
+    uid = os.getuid() if hasattr(os, "getuid") else "user"
+    return os.path.join(tempfile.gettempdir(), f"repro-native-{uid}")
+
+
+def _trusted_dir(path: str) -> bool:
+    """Refuse cache dirs another local user could have planted code in.
+
+    The shared object is loaded straight into the process, so the directory
+    must belong to us and must not be writable by group/other (a predictable
+    /tmp path could otherwise be pre-created with a malicious ``.so``).
+    """
+    if not hasattr(os, "getuid"):  # non-POSIX: no uid semantics to check
+        return True
+    info = os.lstat(path)
+    return (
+        stat.S_ISDIR(info.st_mode)
+        and info.st_uid == os.getuid()
+        and not (info.st_mode & (stat.S_IWGRP | stat.S_IWOTH))
+    )
+
+
+def _compile_and_load() -> object | None:
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    with open(_SOURCE_PATH, "rb") as handle:
+        source = handle.read()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    cache_dir = _cache_dir()
+    os.makedirs(cache_dir, mode=0o700, exist_ok=True)
+    if not _trusted_dir(cache_dir):
+        return None  # pre-existing dir we don't own -> python fallback
+    so_path = os.path.join(cache_dir, f"peel-{digest}.so")
+    if not os.path.exists(so_path):
+        # compile to a private temp name, then atomically publish, so
+        # concurrent processes never load a half-written object
+        fd, tmp_path = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+        os.close(fd)
+        try:
+            subprocess.run(
+                [compiler, "-O3", "-shared", "-fPIC", "-o", tmp_path, _SOURCE_PATH],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, so_path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+    lib = ctypes.CDLL(so_path)
+    i64_array = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
+    f64_array = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
+    func = lib.repro_greedy_peel
+    func.argtypes = [
+        ctypes.c_int64,  # n
+        i64_array,  # indptr
+        i64_array,  # flat_other
+        f64_array,  # flat_w
+        f64_array,  # prio (in/out)
+        ctypes.c_double,  # total
+        i64_array,  # removal_order (out)
+        f64_array,  # densities (out)
+        ctypes.POINTER(ctypes.c_double),  # best_density (out)
+        ctypes.POINTER(ctypes.c_int64),  # best_removed (out)
+    ]
+    func.restype = ctypes.c_int64
+    return func
+
+
+def load_peel_kernel() -> object | None:
+    """The compiled kernel function, or ``None`` when unavailable."""
+    global _kernel
+    if _kernel is not None:
+        return _kernel or None
+    with _lock:
+        if _kernel is None:
+            if _disabled_by_env():
+                _kernel = False
+            else:
+                try:
+                    _kernel = _compile_and_load() or False
+                except Exception:  # any toolchain hiccup -> python fallback
+                    _kernel = False
+        return _kernel or None
+
+
+def native_available() -> bool:
+    """``True`` when the compiled kernel can be (or has been) loaded."""
+    return load_peel_kernel() is not None

@@ -1,0 +1,158 @@
+/* Greedy min-priority peeling kernel.
+ *
+ * Exact replica of the reference engine in ``repro/fdet/peeling.py``: a lazy
+ * binary min-heap over (priority, node) pairs with lexicographic ordering,
+ * the reference's 1e-12 stale-entry tolerance, and the same sequential
+ * float64 arithmetic (per-edge subtraction in CSR span order, running-total
+ * subtraction at each pop). Because every floating-point operation happens
+ * in the same order on the same IEEE-754 doubles, the removal order, the
+ * densities series and the best prefix are bitwise identical to the pure
+ * Python implementation.
+ *
+ * The kernel is dependency-free C (no Python.h) so it can be compiled once
+ * with any system C compiler and loaded through ctypes; see ``_native.py``.
+ *
+ * Graph encoding: a flattened adjacency over the combined node index space
+ * (users ``0..n_users-1``, merchants ``n_users..n-1``). ``indptr`` has n+1
+ * entries; the incident half-edges of node ``v`` are
+ * ``flat_other[indptr[v]:indptr[v+1]]`` (the opposite endpoint) with
+ * per-half-edge weights ``flat_w``. An edge dies when its first endpoint is
+ * popped, so a half-edge is alive exactly when its opposite endpoint is.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef struct {
+    double p;
+    int64_t node;
+} entry_t;
+
+static inline int entry_lt(entry_t a, entry_t b)
+{
+    return a.p < b.p || (a.p == b.p && a.node < b.node);
+}
+
+static inline void sift_down(entry_t *heap, int64_t size, int64_t i)
+{
+    entry_t v = heap[i];
+    for (;;) {
+        int64_t child = 2 * i + 1;
+        if (child >= size)
+            break;
+        if (child + 1 < size && entry_lt(heap[child + 1], heap[child]))
+            child++;
+        if (!entry_lt(heap[child], v))
+            break;
+        heap[i] = heap[child];
+        i = child;
+    }
+    heap[i] = v;
+}
+
+static inline void sift_up(entry_t *heap, int64_t i)
+{
+    entry_t v = heap[i];
+    while (i > 0) {
+        int64_t parent = (i - 1) / 2;
+        if (!entry_lt(v, heap[parent]))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i] = v;
+}
+
+/* Peel the graph to a single node, recording the removal order and the
+ * density after every removal.
+ *
+ * prio            in/out: per-node priority (prior + alive incident weight);
+ *                 left at its final state on return.
+ * total           objective value of the whole graph.
+ * removal_order   out: node popped at each step (capacity n).
+ * densities       out: densities[j] = score with j nodes removed
+ *                 (capacity n; densities[0] scores the whole graph).
+ * best_density/best_removed  out: the densest prefix found.
+ *
+ * Returns the number of nodes removed, or -1 if allocation failed (the
+ * caller falls back to the Python engine).
+ */
+int64_t repro_greedy_peel(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *flat_other,
+    const double *flat_w,
+    double *prio,
+    double total,
+    int64_t *removal_order,
+    double *densities,
+    double *best_density_out,
+    int64_t *best_removed_out)
+{
+    if (n <= 0)
+        return 0;
+    int64_t n_flat = indptr[n];
+    /* every node gets an initial entry; every half-edge retirement pushes
+     * at most one more */
+    entry_t *heap = (entry_t *)malloc((size_t)(n + n_flat + 1) * sizeof(entry_t));
+    uint8_t *alive = (uint8_t *)malloc((size_t)n);
+    if (!heap || !alive) {
+        free(heap);
+        free(alive);
+        return -1;
+    }
+
+    for (int64_t i = 0; i < n; i++) {
+        heap[i].p = prio[i];
+        heap[i].node = i;
+        alive[i] = 1;
+    }
+    int64_t heap_size = n;
+    for (int64_t i = n / 2 - 1; i >= 0; i--)
+        sift_down(heap, heap_size, i);
+
+    densities[0] = total / (double)n;
+    double best_density = densities[0];
+    int64_t best_removed = 0;
+    int64_t n_alive = n;
+    int64_t removed = 0;
+
+    while (n_alive > 1 && heap_size > 0) {
+        entry_t top = heap[0];
+        heap[0] = heap[--heap_size];
+        if (heap_size > 0)
+            sift_down(heap, heap_size, 0);
+        int64_t node = top.node;
+        if (!alive[node] || top.p > prio[node] + 1e-12)
+            continue; /* stale entry */
+        alive[node] = 0;
+        removal_order[removed++] = node;
+        n_alive--;
+        total -= prio[node];
+
+        for (int64_t j = indptr[node]; j < indptr[node + 1]; j++) {
+            int64_t other = flat_other[j];
+            if (alive[other]) {
+                double updated = prio[other] - flat_w[j];
+                prio[other] = updated;
+                heap[heap_size].p = updated;
+                heap[heap_size].node = other;
+                sift_up(heap, heap_size);
+                heap_size++;
+            }
+        }
+
+        double density = total / (double)n_alive;
+        densities[removed] = density;
+        if (density > best_density) {
+            best_density = density;
+            best_removed = removed;
+        }
+    }
+
+    free(heap);
+    free(alive);
+    *best_density_out = best_density;
+    *best_removed_out = best_removed;
+    return removed;
+}

@@ -22,7 +22,8 @@ import numpy as np
 from ..errors import DetectionError, EmptyGraphError
 from ..graph import BipartiteGraph
 from .density import DensityMetric, LogWeightedDensity
-from .peeling import greedy_peel
+from .peeling import PeelEngine, _build_priors, _reference_peel, greedy_peel
+from .peeling_fast import PeelContext, fast_peel
 from .truncation import SecondDifferenceRule, TruncationRule
 
 __all__ = ["Block", "FdetConfig", "FdetResult", "Fdet", "WeightPolicy"]
@@ -42,6 +43,24 @@ class WeightPolicy:
     REFRESH = "refresh"
     FROZEN = "frozen"
     ALL = (REFRESH, FROZEN)
+
+
+def _residual_view(graph: BipartiteGraph, edge_alive: np.ndarray) -> BipartiteGraph:
+    """The graph restricted to alive edges (node set and labels kept).
+
+    Uses the trusted constructor: the arrays are masked views of an already
+    validated graph, so the O(|E|) validation scan is skipped.
+    """
+    weights = graph.edge_weights[edge_alive] if graph.edge_weights is not None else None
+    return BipartiteGraph._from_trusted(
+        n_users=graph.n_users,
+        n_merchants=graph.n_merchants,
+        edge_users=graph.edge_users[edge_alive],
+        edge_merchants=graph.edge_merchants[edge_alive],
+        edge_weights=weights,
+        user_labels=graph.user_labels,
+        merchant_labels=graph.merchant_labels,
+    )
 
 
 @dataclass(frozen=True)
@@ -92,6 +111,11 @@ class FdetConfig:
         Early-stop: halt once a block's density falls below this fraction of
         the first block's density (0 disables; truncation normally discards
         such blocks anyway — this merely saves work).
+    engine:
+        Peeling backend, one of :class:`repro.fdet.PeelEngine`
+        (``"reference"`` or ``"fast"``; default ``"fast"``). Both produce
+        identical detections; ``fast`` additionally lets ``detect`` reuse
+        one flattened adjacency across all blocks instead of re-sorting.
     """
 
     metric: DensityMetric = field(default_factory=LogWeightedDensity)
@@ -100,6 +124,7 @@ class FdetConfig:
     weight_policy: str = WeightPolicy.REFRESH
     min_block_edges: int = 1
     min_density_ratio: float = 0.0
+    engine: str = PeelEngine.DEFAULT
 
     def __post_init__(self) -> None:
         if self.max_blocks < 1:
@@ -107,6 +132,10 @@ class FdetConfig:
         if self.weight_policy not in WeightPolicy.ALL:
             raise DetectionError(
                 f"weight_policy must be one of {WeightPolicy.ALL}, got {self.weight_policy!r}"
+            )
+        if self.engine not in PeelEngine.ALL:
+            raise DetectionError(
+                f"engine must be one of {PeelEngine.ALL}, got {self.engine!r}"
             )
         if self.min_block_edges < 1:
             raise DetectionError(f"min_block_edges must be >= 1, got {self.min_block_edges}")
@@ -173,33 +202,64 @@ class Fdet:
         self.config = config or FdetConfig()
 
     def detect(self, graph: BipartiteGraph) -> FdetResult:
-        """Extract dense blocks from ``graph`` and truncate at ``k̂``."""
+        """Extract dense blocks from ``graph`` and truncate at ``k̂``.
+
+        The outer loop is *zero-rebuild*: instead of materialising a fresh
+        graph (O(|E|) validation plus an O(|E| log |E|) adjacency re-sort)
+        after every block, it keeps one edge-alive mask over the input
+        graph, recomputes only the degree-dependent weights on the masked
+        residual, and — under the ``fast`` engine — re-peels through a
+        single flattened adjacency built once for all ``max_blocks``
+        iterations. Detections are identical to the rebuild-per-block
+        formulation under both weight policies and both engines.
+        """
         config = self.config
+        metric = config.metric
         frozen_degrees: np.ndarray | None = None
         if config.weight_policy == WeightPolicy.FROZEN:
             frozen_degrees = graph.merchant_degrees()
 
+        n_edges = graph.n_edges
+        edge_users = graph.edge_users
+        edge_merchants = graph.edge_merchants
+        alive = np.ones(n_edges, dtype=bool)
+        n_alive = n_edges
+        context: PeelContext | None = None
+        if config.engine == PeelEngine.FAST and n_edges:
+            context = PeelContext(graph)
+
         blocks: list[Block] = []
-        current = graph
         first_density: float | None = None
         for index in range(config.max_blocks):
-            if current.is_empty:
+            if n_alive == 0:
                 break
-            edge_weights = config.metric.edge_weights(current, frozen_degrees)
-            peel = greedy_peel(
-                current,
-                edge_weights,
-                user_weights=config.metric.user_weights(current),
-                merchant_weights=config.metric.merchant_weights(current),
+            residual = graph if n_alive == n_edges else _residual_view(graph, alive)
+            edge_weights = metric.edge_weights(residual, frozen_degrees)
+            priors = _build_priors(
+                graph.n_users,
+                graph.n_merchants,
+                metric.user_weights(residual),
+                metric.merchant_weights(residual),
             )
-            block_edges = peel.edge_indices(current)
+            if context is not None:
+                peel = fast_peel(
+                    residual,
+                    edge_weights,
+                    priors,
+                    context=context,
+                    edge_alive=None if n_alive == n_edges else alive,
+                )
+            else:
+                peel = _reference_peel(residual, edge_weights, priors)
+            block_mask = alive & peel.user_mask[edge_users] & peel.merchant_mask[edge_merchants]
+            block_edges = np.nonzero(block_mask)[0]
             if block_edges.size < config.min_block_edges:
                 break
             blocks.append(
                 Block(
                     index=index,
-                    user_labels=np.sort(current.user_labels[peel.user_mask]),
-                    merchant_labels=np.sort(current.merchant_labels[peel.merchant_mask]),
+                    user_labels=np.sort(graph.user_labels[peel.user_mask]),
+                    merchant_labels=np.sort(graph.merchant_labels[peel.merchant_mask]),
                     density=peel.density,
                     n_edges=int(block_edges.size),
                 )
@@ -211,7 +271,8 @@ class Fdet:
                 and peel.density < config.min_density_ratio * first_density
             ):
                 break
-            current = current.remove_edges(block_edges)
+            alive[block_edges] = False
+            n_alive -= int(block_edges.size)
 
         k_hat = config.truncation.truncate([block.density for block in blocks])
         return FdetResult(all_blocks=tuple(blocks), k_hat=k_hat)
@@ -226,6 +287,7 @@ class Fdet:
             edge_weights,
             user_weights=self.config.metric.user_weights(graph),
             merchant_weights=self.config.metric.merchant_weights(graph),
+            engine=self.config.engine,
         )
         block_edges = peel.edge_indices(graph)
         return Block(

@@ -1,0 +1,264 @@
+"""The ``fast`` peeling engine — flat-array backend with a native core.
+
+Same contract as the reference engine in :mod:`repro.fdet.peeling`, same
+results bit for bit, different execution strategy:
+
+* All per-edge preparation is vectorised numpy: the priority array is built
+  with ``np.add.at``, and the graph is flattened into a combined CSR
+  adjacency over the joint node index space (users then merchants) that can
+  be **masked and reused across FDET blocks** without re-sorting.
+* The sequential extract-min loop runs in a compiled C kernel
+  (``_peel_kernel.c``, loaded through ctypes — see :mod:`._native`) when a
+  system C compiler is available, and otherwise in an optimised pure-Python
+  core (argsorted clean stream + lazy hot heap).
+
+Both cores replicate the reference engine's lazy-heap semantics exactly —
+lexicographic ``(priority, node)`` ordering, the ``1e-12`` stale-entry
+tolerance, and identical float64 operation order — so ``PeelResult``s are
+bitwise identical to :func:`repro.fdet.peeling.greedy_peel` with
+``engine="reference"``. The parity suite in
+``tests/fdet/test_engine_parity.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph import BipartiteGraph
+from ._native import load_peel_kernel
+
+__all__ = ["PeelContext", "fast_peel"]
+
+#: test hook — set to True to bypass the native kernel
+_force_python = False
+
+
+class PeelContext:
+    """Reusable flattened adjacency of one graph.
+
+    Builds, once, a combined CSR over the joint node index space (user ``u``
+    is node ``u``; merchant ``m`` is node ``n_users + m``): the half-edges of
+    node ``v`` are ``flat_other[indptr[v]:indptr[v+1]]`` (opposite endpoint)
+    with originating edge ids ``flat_edge[...]``. FDET's no-rebuild loop
+    keeps one context for the input graph and re-peels arbitrary edge
+    subsets through :meth:`subset` — an O(|E|) masked gather instead of the
+    O(|E| log |E|) adjacency re-sort a fresh graph would pay.
+    """
+
+    def __init__(self, graph: BipartiteGraph) -> None:
+        n_users = graph.n_users
+        user_indptr, user_edges = graph.user_adjacency()
+        merchant_indptr, merchant_edges = graph.merchant_adjacency()
+        self.n_users = n_users
+        self.n_nodes = n_users + graph.n_merchants
+        self.n_edges = graph.n_edges
+        self.indptr = np.ascontiguousarray(
+            np.concatenate([user_indptr, user_indptr[-1] + merchant_indptr[1:]]),
+            dtype=np.int64,
+        )
+        self.flat_edge = np.ascontiguousarray(
+            np.concatenate([user_edges, merchant_edges]), dtype=np.int64
+        )
+        self.flat_other = np.ascontiguousarray(
+            np.concatenate(
+                [n_users + graph.edge_merchants[user_edges], graph.edge_users[merchant_edges]]
+            ),
+            dtype=np.int64,
+        )
+        # owner of each half-edge, for rebuilding indptr after masking
+        self._flat_owner = np.repeat(
+            np.arange(self.n_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+
+    def subset(self, edge_alive: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, flat_other, flat_edge)`` restricted to alive edges.
+
+        Half-edge order within each node's span is preserved, which keeps
+        the masked peel bitwise identical to peeling a freshly compacted
+        graph (whose stable argsort yields the same relative order).
+        """
+        keep = edge_alive[self.flat_edge]
+        counts = np.bincount(self._flat_owner[keep], minlength=self.n_nodes)
+        indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return (
+            indptr,
+            np.ascontiguousarray(self.flat_other[keep]),
+            np.ascontiguousarray(self.flat_edge[keep]),
+        )
+
+
+def fast_peel(
+    graph: BipartiteGraph,
+    edge_weights: np.ndarray,
+    priors: np.ndarray,
+    context: PeelContext | None = None,
+    edge_alive: np.ndarray | None = None,
+):
+    """Peel ``graph`` with the fast engine and return its densest prefix.
+
+    Parameters
+    ----------
+    graph:
+        The graph to peel. With ``context``/``edge_alive`` this is the
+        *residual* graph (full node set, alive edges only) whose compacted
+        edge arrays seed the priorities.
+    edge_weights:
+        One weight per edge of ``graph`` (compacted, when masked).
+    priors:
+        Dense per-node prior array over the combined index space.
+    context:
+        Flattened adjacency of the **original** graph, reused across FDET
+        blocks. ``None`` builds a throwaway context from ``graph``.
+    edge_alive:
+        Boolean mask over the context's edges selecting the residual edge
+        set; requires ``context``. ``None`` peels every context edge.
+    """
+    from .peeling import PeelResult, _empty_result  # local import to avoid a module cycle
+
+    n_users = graph.n_users
+    n = n_users + graph.n_merchants
+    if n == 0:
+        return _empty_result()
+
+    priority = priors.copy()
+    np.add.at(priority, graph.edge_users, edge_weights)
+    np.add.at(priority, n_users + graph.edge_merchants, edge_weights)
+    total = float(priors.sum() + edge_weights.sum())
+
+    if context is None:
+        context = PeelContext(graph)
+    if edge_alive is None:
+        indptr = context.indptr
+        flat_other = context.flat_other
+        flat_w = edge_weights[context.flat_edge]
+    else:
+        indptr, flat_other, flat_edge = context.subset(edge_alive)
+        full_weights = np.zeros(context.n_edges, dtype=np.float64)
+        full_weights[edge_alive] = edge_weights
+        flat_w = full_weights[flat_edge]
+
+    removal_order, densities, best_density, best_removed = _peel_core(
+        n, indptr, flat_other, np.ascontiguousarray(flat_w, dtype=np.float64), priority, total
+    )
+
+    keep = np.ones(n, dtype=bool)
+    keep[removal_order[:best_removed]] = False
+    return PeelResult(
+        user_mask=keep[:n_users],
+        merchant_mask=keep[n_users:],
+        density=float(best_density),
+        n_removed=int(best_removed),
+        densities=densities,
+    )
+
+
+def _peel_core(n, indptr, flat_other, flat_w, priority, total):
+    """Dispatch to the native kernel, falling back to the Python core."""
+    kernel = None if _force_python else load_peel_kernel()
+    if kernel is not None:
+        result = _native_core(kernel, n, indptr, flat_other, flat_w, priority, total)
+        if result is not None:
+            return result
+    return _python_core(n, indptr, flat_other, flat_w, priority, total)
+
+
+def _native_core(kernel, n, indptr, flat_other, flat_w, priority, total):
+    import ctypes
+
+    removal_order = np.empty(n, dtype=np.int64)
+    densities = np.empty(max(n, 1), dtype=np.float64)
+    best_density = ctypes.c_double()
+    best_removed = ctypes.c_int64()
+    removed = kernel(
+        n,
+        indptr,
+        flat_other,
+        flat_w,
+        priority,
+        total,
+        removal_order,
+        densities,
+        ctypes.byref(best_density),
+        ctypes.byref(best_removed),
+    )
+    if removed < 0:  # allocation failure inside the kernel
+        return None
+    return (
+        removal_order[:removed],
+        densities[: removed + 1].copy(),
+        best_density.value,
+        int(best_removed.value),
+    )
+
+
+def _python_core(n, indptr, flat_other, flat_w, priority, total):
+    """Pure-Python core: argsorted clean stream + lazy hot heap.
+
+    The reference engine's heap initially holds one entry per node; here
+    those initial entries live in a pre-sorted "clean" stream consumed by a
+    moving pointer, and only re-prioritised nodes enter a (much smaller)
+    binary heap. The union of live entries — and therefore the accepted pop
+    sequence under the shared lazy rule — is identical to the reference's.
+    """
+    order = np.argsort(priority, kind="stable")  # ties resolve to smaller node id
+    clean_values = priority[order].tolist()
+    clean_nodes = order.tolist()
+    prio = priority.tolist()
+    indptr_list = indptr.tolist()
+    other_list = flat_other.tolist()
+    weight_list = flat_w.tolist()
+
+    alive = bytearray(b"\x01" * n)
+    hot: list[tuple[float, int]] = []
+    push, pop = heapq.heappush, heapq.heappop
+    removal_order: list[int] = []
+    densities = [total / n]
+    best_density = densities[0]
+    best_removed = 0
+    n_alive = n
+    clean_pos = 0
+
+    while n_alive > 1:
+        if clean_pos < n:
+            candidate = clean_nodes[clean_pos]
+            candidate_value = clean_values[clean_pos]
+        else:
+            candidate = -1
+            candidate_value = 0.0
+        if hot and (candidate < 0 or hot[0] < (candidate_value, candidate)):
+            value, node = pop(hot)
+            if not alive[node] or value > prio[node] + 1e-12:
+                continue  # stale hot entry
+        elif candidate >= 0:
+            clean_pos += 1
+            node = candidate
+            if not alive[node] or candidate_value > prio[node] + 1e-12:
+                continue  # node already popped or re-prioritised since sort
+        else:  # pragma: no cover - every alive node always has an entry
+            break
+
+        alive[node] = 0
+        removal_order.append(node)
+        n_alive -= 1
+        total -= prio[node]
+        for index in range(indptr_list[node], indptr_list[node + 1]):
+            other = other_list[index]
+            if alive[other]:
+                updated = prio[other] - weight_list[index]
+                prio[other] = updated
+                push(hot, (updated, other))
+        density = total / n_alive
+        densities.append(density)
+        if density > best_density:
+            best_density = density
+            best_removed = len(removal_order)
+
+    return (
+        np.array(removal_order, dtype=np.int64),
+        np.array(densities, dtype=np.float64),
+        best_density,
+        best_removed,
+    )

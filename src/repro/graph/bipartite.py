@@ -67,6 +67,7 @@ class BipartiteGraph:
         "_merchant_adj",
         "_user_degrees",
         "_merchant_degrees",
+        "_ones",
     )
 
     def __init__(
@@ -99,7 +100,43 @@ class BipartiteGraph:
         self._merchant_adj: tuple[np.ndarray, np.ndarray] | None = None
         self._user_degrees: np.ndarray | None = None
         self._merchant_degrees: np.ndarray | None = None
+        self._ones: np.ndarray | None = None
         self._validate()
+
+    @classmethod
+    def _from_trusted(
+        cls,
+        n_users: int,
+        n_merchants: int,
+        edge_users: np.ndarray,
+        edge_merchants: np.ndarray,
+        edge_weights: np.ndarray | None,
+        user_labels: np.ndarray,
+        merchant_labels: np.ndarray,
+    ) -> "BipartiteGraph":
+        """Construct from arrays produced by our own subgraph/remove ops.
+
+        Skips ``_validate`` (the O(|E|) bounds scan) and the label re-checks:
+        the caller guarantees the arrays are already consistent — correct
+        dtypes, matching lengths, in-range endpoints. This is the hot
+        constructor behind :meth:`edge_subgraph`, :meth:`induced_subgraph`
+        and :meth:`remove_edges`, which FDET's outer loop and the samplers
+        call once per block/sample.
+        """
+        graph = cls.__new__(cls)
+        graph.n_users = n_users
+        graph.n_merchants = n_merchants
+        graph.edge_users = edge_users
+        graph.edge_merchants = edge_merchants
+        graph.edge_weights = edge_weights
+        graph.user_labels = user_labels
+        graph.merchant_labels = merchant_labels
+        graph._user_adj = None
+        graph._merchant_adj = None
+        graph._user_degrees = None
+        graph._merchant_degrees = None
+        graph._ones = None
+        return graph
 
     # ------------------------------------------------------------------
     # basic properties
@@ -126,10 +163,17 @@ class BipartiteGraph:
         return self.edge_weights is not None
 
     def weights_or_ones(self) -> np.ndarray:
-        """Edge weights, materialising an all-ones array when unweighted."""
+        """Edge weights, or a cached all-ones array when unweighted.
+
+        The unweighted fallback is materialised once per instance (FDET hits
+        this once per block per sample). Callers must treat the returned
+        array as read-only.
+        """
         if self.edge_weights is not None:
             return self.edge_weights
-        return np.ones(self.n_edges, dtype=np.float64)
+        if self._ones is None:
+            self._ones = np.ones(self.n_edges, dtype=np.float64)
+        return self._ones
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -214,16 +258,22 @@ class BipartiteGraph:
         return self._merchant_degrees
 
     def weighted_user_degrees(self) -> np.ndarray:
-        """Sum of incident edge weights per user node."""
-        return np.bincount(
-            self.edge_users, weights=self.weights_or_ones(), minlength=self.n_users
+        """Sum of incident edge weights per user node.
+
+        Unweighted graphs take the integer ``bincount`` path (no ones-array
+        multiply) and only convert the counts to ``float64`` at the end.
+        """
+        counts = np.bincount(
+            self.edge_users, weights=self.edge_weights, minlength=self.n_users
         )
+        return counts if self.is_weighted else counts.astype(np.float64)
 
     def weighted_merchant_degrees(self) -> np.ndarray:
         """Sum of incident edge weights per merchant node."""
-        return np.bincount(
-            self.edge_merchants, weights=self.weights_or_ones(), minlength=self.n_merchants
+        counts = np.bincount(
+            self.edge_merchants, weights=self.edge_weights, minlength=self.n_merchants
         )
+        return counts if self.is_weighted else counts.astype(np.float64)
 
     def _build_adjacency(self, endpoints: np.ndarray, n_nodes: int) -> tuple[np.ndarray, np.ndarray]:
         order = np.argsort(endpoints, kind="stable")
@@ -286,11 +336,11 @@ class BipartiteGraph:
         weights = None
         if self.edge_weights is not None:
             weights = self.edge_weights[edge_indices]
-        return BipartiteGraph(
-            n_users=kept_users.size,
-            n_merchants=kept_merchants.size,
-            edge_users=new_users,
-            edge_merchants=new_merchants,
+        return BipartiteGraph._from_trusted(
+            n_users=int(kept_users.size),
+            n_merchants=int(kept_merchants.size),
+            edge_users=new_users.astype(np.int64, copy=False),
+            edge_merchants=new_merchants.astype(np.int64, copy=False),
             edge_weights=weights,
             user_labels=self.user_labels[kept_users],
             merchant_labels=self.merchant_labels[kept_merchants],
@@ -334,9 +384,9 @@ class BipartiteGraph:
         weights = None
         if self.edge_weights is not None:
             weights = self.edge_weights[edge_indices]
-        return BipartiteGraph(
-            n_users=kept_users.size,
-            n_merchants=kept_merchants.size,
+        return BipartiteGraph._from_trusted(
+            n_users=int(kept_users.size),
+            n_merchants=int(kept_merchants.size),
             edge_users=user_remap[self.edge_users[edge_indices]],
             edge_merchants=merchant_remap[self.edge_merchants[edge_indices]],
             edge_weights=weights,
@@ -356,7 +406,7 @@ class BipartiteGraph:
         weights = None
         if self.edge_weights is not None:
             weights = self.edge_weights[mask]
-        return BipartiteGraph(
+        return BipartiteGraph._from_trusted(
             n_users=self.n_users,
             n_merchants=self.n_merchants,
             edge_users=self.edge_users[mask],

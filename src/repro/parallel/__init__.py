@@ -1,10 +1,11 @@
 """Parallel-execution substrate for the ensemble stage."""
 
-from .executor import ExecutorMode, default_workers, parallel_map
+from .executor import ExecutorMode, ReusablePool, default_workers, parallel_map
 from .timing import Timer, Timing, time_callable
 
 __all__ = [
     "ExecutorMode",
+    "ReusablePool",
     "parallel_map",
     "default_workers",
     "Timer",

@@ -6,24 +6,31 @@ This module gives the ensemble one call — :func:`parallel_map` — with three
 interchangeable backends:
 
 * ``serial``  — plain loop; reference semantics, easiest to debug.
-* ``thread``  — ``ThreadPoolExecutor``; cheap, but the peeling loop is pure
-  Python so the GIL caps speedup. Kept for IO-bound maps and ablations.
+* ``thread``  — ``ThreadPoolExecutor``; cheap, useful for IO-bound maps and
+  ablations (the peeling hot loop now runs in a GIL-releasing native kernel
+  under the ``fast`` engine, but per-sample numpy prep still contends).
 * ``process`` — ``ProcessPoolExecutor`` (fork context where available);
   real multi-core speedup, requires picklable functions/arguments.
 
-All three preserve input order and propagate the first worker exception.
+For repeated fan-outs, :class:`ReusablePool` keeps one pool of workers
+alive across ``parallel_map`` calls so each ensemble fit stops paying
+process start-up costs.
+
+All backends preserve input order and propagate the first worker exception.
+Worker counts honour the ``REPRO_WORKERS`` environment variable so CI and
+benchmarks can pin parallelism deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..errors import ReproError
 
-__all__ = ["ExecutorMode", "parallel_map", "default_workers"]
+__all__ = ["ExecutorMode", "ReusablePool", "parallel_map", "default_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -39,11 +46,85 @@ class ExecutorMode:
 
 
 def default_workers(n_items: int | None = None) -> int:
-    """Worker count: CPU count, capped by the number of items (if known)."""
-    workers = os.cpu_count() or 1
+    """Worker count: CPU count, capped by the number of items (if known).
+
+    Set ``REPRO_WORKERS`` to pin the count explicitly (CI, benchmarks);
+    values below 1 clamp to 1, non-integers raise :class:`ReproError`.
+    """
+    pinned = os.environ.get("REPRO_WORKERS")
+    if pinned is not None and pinned.strip():
+        try:
+            workers = int(pinned)
+        except ValueError:
+            raise ReproError(f"REPRO_WORKERS must be an integer, got {pinned!r}") from None
+        workers = max(1, workers)
+    else:
+        workers = os.cpu_count() or 1
     if n_items is not None:
         workers = max(1, min(workers, n_items))
     return workers
+
+
+def _process_context():
+    # prefer fork (cheap, shares the parent's loaded modules); fall back to
+    # the platform default where fork is unavailable.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ReusablePool:
+    """A worker pool that survives across ``parallel_map`` calls.
+
+    ``parallel_map`` tears its pool down after every call; that is correct
+    but wasteful when the ensemble fits many times (threshold sweeps, the
+    figure experiments, long-running services). A ``ReusablePool`` owns one
+    ``ProcessPoolExecutor``/``ThreadPoolExecutor`` created lazily on first
+    use and keeps it warm until :meth:`close`.
+
+    >>> with ReusablePool(ExecutorMode.THREAD, n_workers=2) as pool:
+    ...     pool.map(abs, [-1, -2])
+    [1, 2]
+    """
+
+    def __init__(self, mode: str = ExecutorMode.PROCESS, n_workers: int | None = None) -> None:
+        if mode not in (ExecutorMode.THREAD, ExecutorMode.PROCESS):
+            raise ReproError(
+                f"ReusablePool mode must be 'thread' or 'process', got {mode!r}"
+            )
+        self.mode = mode
+        self.n_workers = n_workers or default_workers()
+        self._executor: Executor | None = None
+
+    def _ensure(self) -> Executor:
+        if self._executor is None:
+            if self.mode == ExecutorMode.THREAD:
+                self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.n_workers, mp_context=_process_context()
+                )
+        return self._executor
+
+    def map(self, func: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> list[R]:
+        """Apply ``func`` to every item on the pool, preserving order."""
+        work = list(items)
+        if not work:
+            return []
+        return list(self._ensure().map(func, work))
+
+    def close(self) -> None:
+        """Shut the workers down; the pool may not be used afterwards."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ReusablePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def parallel_map(
@@ -51,6 +132,7 @@ def parallel_map(
     items: Sequence[T] | Iterable[T],
     mode: str = ExecutorMode.SERIAL,
     n_workers: int | None = None,
+    pool: ReusablePool | None = None,
 ) -> list[R]:
     """Apply ``func`` to every item, preserving order.
 
@@ -62,15 +144,20 @@ def parallel_map(
     items:
         Work items; consumed eagerly.
     mode:
-        One of :class:`ExecutorMode`.
+        One of :class:`ExecutorMode`; ignored when ``pool`` is given.
     n_workers:
         Pool size; defaults to :func:`default_workers`.
+    pool:
+        An existing :class:`ReusablePool` to run on (kept alive afterwards)
+        instead of spinning up and tearing down a fresh pool.
     """
     work = list(items)
     if mode not in ExecutorMode.ALL:
         raise ReproError(f"unknown executor mode {mode!r}; expected one of {ExecutorMode.ALL}")
     if not work:
         return []
+    if pool is not None:
+        return pool.map(func, work)
     if mode == ExecutorMode.SERIAL or len(work) == 1:
         return [func(item) for item in work]
 
@@ -79,14 +166,8 @@ def parallel_map(
         return [func(item) for item in work]
 
     if mode == ExecutorMode.THREAD:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(func, work))
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(func, work))
 
-    # process mode: prefer fork (cheap, shares the parent's loaded modules);
-    # fall back to the platform default where fork is unavailable.
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        return list(pool.map(func, work))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_process_context()) as executor:
+        return list(executor.map(func, work))

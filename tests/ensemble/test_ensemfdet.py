@@ -132,3 +132,35 @@ class TestExecutors:
         for a, b in zip(serial, threaded):
             assert a.result.k_hat == b.result.k_hat
             assert np.array_equal(a.result.detected_users(), b.result.detected_users())
+
+    def test_chunked_process_matches_serial(self, toy):
+        samples = RandomEdgeSampler(0.3).sample_many(toy.graph, 7, rng=1)
+        config = FdetConfig(max_blocks=4)
+        serial = detect_on_samples(samples, config, mode=ExecutorMode.SERIAL)
+        chunked = detect_on_samples(samples, config, mode=ExecutorMode.PROCESS, n_workers=3)
+        assert len(chunked) == len(serial)
+        for a, b in zip(serial, chunked):
+            assert a.sample_users == b.sample_users
+            assert np.array_equal(a.result.detected_users(), b.result.detected_users())
+
+    def test_engine_override_matches(self, toy):
+        samples = RandomEdgeSampler(0.3).sample_many(toy.graph, 3, rng=2)
+        config = FdetConfig(max_blocks=4, engine="fast")
+        fast = detect_on_samples(samples, config, mode=ExecutorMode.SERIAL)
+        reference = detect_on_samples(
+            samples, config, mode=ExecutorMode.SERIAL, engine="reference"
+        )
+        for a, b in zip(fast, reference):
+            assert np.array_equal(a.result.detected_users(), b.result.detected_users())
+            assert np.array_equal(a.result.detected_merchants(), b.result.detected_merchants())
+
+    def test_reusable_pool_fit(self, toy):
+        from repro.parallel import ReusablePool
+
+        with ReusablePool(ExecutorMode.PROCESS, n_workers=2) as pool:
+            config = small_config(executor=ExecutorMode.PROCESS, n_samples=6)
+            pooled = EnsemFDet(config, pool=pool).fit(toy.graph)
+            again = EnsemFDet(config, pool=pool).fit(toy.graph)  # warm workers reused
+        serial = EnsemFDet(small_config(executor=ExecutorMode.SERIAL, n_samples=6)).fit(toy.graph)
+        assert pooled.vote_table.user_votes == serial.vote_table.user_votes
+        assert again.vote_table.user_votes == serial.vote_table.user_votes

@@ -197,3 +197,64 @@ class TestSubgraphs:
         weighted = tiny_graph.with_weights(np.full(6, 2.0))
         assert weighted.is_weighted
         assert weighted.with_weights(None).edge_weights is None
+
+
+class TestTrustedConstruction:
+    def test_trusted_matches_validated(self, tiny_graph):
+        trusted = BipartiteGraph._from_trusted(
+            n_users=tiny_graph.n_users,
+            n_merchants=tiny_graph.n_merchants,
+            edge_users=tiny_graph.edge_users,
+            edge_merchants=tiny_graph.edge_merchants,
+            edge_weights=None,
+            user_labels=tiny_graph.user_labels,
+            merchant_labels=tiny_graph.merchant_labels,
+        )
+        assert trusted == tiny_graph
+        assert np.array_equal(trusted.user_degrees(), tiny_graph.user_degrees())
+
+    def test_subgraph_ops_still_validated_lazily(self, tiny_graph):
+        # trusted-path subgraphs must behave identically to the originals
+        sub = tiny_graph.edge_subgraph([0, 2, 3])
+        rebuilt = BipartiteGraph(
+            sub.n_users,
+            sub.n_merchants,
+            sub.edge_users,
+            sub.edge_merchants,
+            user_labels=sub.user_labels,
+            merchant_labels=sub.merchant_labels,
+        )
+        assert sub == rebuilt
+
+    def test_remove_edges_trusted_adjacency(self, tiny_graph):
+        out = tiny_graph.remove_edges([0])
+        indptr, edge_idx = out.user_adjacency()
+        assert indptr[-1] == out.n_edges
+        assert np.array_equal(np.sort(edge_idx), np.arange(out.n_edges))
+
+
+class TestWeightCaches:
+    def test_weights_or_ones_cached(self, tiny_graph):
+        first = tiny_graph.weights_or_ones()
+        assert first is tiny_graph.weights_or_ones()  # same instance, no realloc
+        assert first.dtype == np.float64
+        assert first.sum() == tiny_graph.n_edges
+
+    def test_weights_or_ones_returns_weights_when_weighted(self, tiny_graph):
+        weighted = tiny_graph.with_weights(np.full(6, 2.5))
+        assert weighted.weights_or_ones() is weighted.edge_weights
+
+    def test_weighted_degrees_unweighted_dtype_and_values(self, tiny_graph):
+        degrees = tiny_graph.weighted_user_degrees()
+        assert degrees.dtype == np.float64
+        assert np.array_equal(degrees, tiny_graph.user_degrees().astype(np.float64))
+        merchant = tiny_graph.weighted_merchant_degrees()
+        assert merchant.dtype == np.float64
+        assert np.array_equal(merchant, tiny_graph.merchant_degrees().astype(np.float64))
+
+    def test_weighted_degrees_with_weights(self, tiny_graph):
+        weighted = tiny_graph.with_weights(np.arange(1.0, 7.0))
+        expected = np.bincount(
+            weighted.edge_users, weights=weighted.edge_weights, minlength=weighted.n_users
+        )
+        assert np.allclose(weighted.weighted_user_degrees(), expected)

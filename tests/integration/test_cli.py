@@ -41,6 +41,26 @@ class TestDetectCommand:
         assert code == 0
         assert "T=2" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_engine_flag(self, edges_file, capsys, engine):
+        code = main(
+            ["detect", str(edges_file), "--ratio", "0.4", "--samples", "6",
+             "--executor", "serial", "--engine", engine]
+        )
+        assert code == 0
+        assert "# detected" in capsys.readouterr().out
+
+    def test_engines_detect_identically(self, edges_file, capsys):
+        outputs = []
+        for engine in ("reference", "fast"):
+            code = main(
+                ["detect", str(edges_file), "--ratio", "0.4", "--samples", "6",
+                 "--threshold", "2", "--executor", "serial", "--engine", engine]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
 
 class TestDatasetCommand:
     def test_generates_loadable_dataset(self, tmp_path, capsys):

@@ -8,7 +8,14 @@ import time
 import pytest
 
 from repro.errors import ReproError
-from repro.parallel import ExecutorMode, Timer, default_workers, parallel_map, time_callable
+from repro.parallel import (
+    ExecutorMode,
+    ReusablePool,
+    Timer,
+    default_workers,
+    parallel_map,
+    time_callable,
+)
 
 
 def square(x: int) -> int:
@@ -58,6 +65,65 @@ class TestDefaultWorkers:
 
     def test_bounded_by_cpu(self):
         assert default_workers() <= (os.cpu_count() or 1)
+
+    def test_env_pin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        assert default_workers(n_items=2) == 2  # items still cap the pin
+
+    def test_env_pin_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "-4")
+        assert default_workers() == 1
+
+    def test_env_pin_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ReproError, match="REPRO_WORKERS"):
+            default_workers()
+
+    def test_env_pin_blank_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert default_workers() >= 1
+
+
+class TestReusablePool:
+    def test_map_preserves_order(self):
+        with ReusablePool(ExecutorMode.THREAD, n_workers=2) as pool:
+            assert pool.map(square, range(10)) == [x * x for x in range(10)]
+
+    def test_reused_across_calls(self):
+        with ReusablePool(ExecutorMode.THREAD, n_workers=2) as pool:
+            pool.map(square, [1])
+            executor = pool._executor
+            pool.map(square, [2, 3])
+            assert pool._executor is executor  # same warm workers
+
+    def test_process_pool_map(self):
+        with ReusablePool(ExecutorMode.PROCESS, n_workers=2) as pool:
+            assert pool.map(square, [4, 5]) == [16, 25]
+
+    def test_parallel_map_routes_through_pool(self):
+        with ReusablePool(ExecutorMode.THREAD, n_workers=2) as pool:
+            result = parallel_map(square, [1, 2, 3], mode=ExecutorMode.SERIAL, pool=pool)
+            assert result == [1, 4, 9]
+            assert pool._executor is not None
+
+    def test_empty_map_does_not_spawn(self):
+        pool = ReusablePool(ExecutorMode.PROCESS, n_workers=2)
+        assert pool.map(square, []) == []
+        assert pool._executor is None
+        pool.close()
+
+    def test_serial_mode_rejected(self):
+        with pytest.raises(ReproError, match="thread' or 'process"):
+            ReusablePool(ExecutorMode.SERIAL)
+
+    def test_close_is_idempotent(self):
+        pool = ReusablePool(ExecutorMode.THREAD, n_workers=1)
+        pool.map(square, [1])
+        pool.close()
+        pool.close()
 
 
 class TestTiming:
