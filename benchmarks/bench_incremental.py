@@ -1,0 +1,123 @@
+"""Bench: incremental re-detection vs cold re-fit after a small edge delta.
+
+The streaming acceptance bar: after appending a ≤1% edge delta to an
+already-fitted graph, ``IncrementalEnsemFDet.update`` must (a) produce
+detections **identical** to a cold ``EnsemFDet.fit`` on the grown graph
+with the same seed, and (b) run at least **5x faster** than that cold fit
+at ``N = 40`` samples — because a stripe-local delta invalidates only
+``≈ S·N`` of the ``N`` ensemble members.
+
+Run standalone to (re)record the committed baseline::
+
+    python benchmarks/bench_incremental.py --update   # rewrite baselines/incremental.json
+    python benchmarks/bench_incremental.py            # measure and print
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if __name__ == "__main__":  # allow standalone runs without PYTHONPATH
+    sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+
+from repro.datasets import chung_lu_bipartite
+from repro.ensemble import EnsemFDet, EnsemFDetConfig, IncrementalEnsemFDet
+from repro.fdet import FdetConfig
+from repro.parallel import time_callable
+from repro.sampling import StableEdgeSampler
+
+BASELINE = os.path.join(_HERE, "baselines", "incremental.json")
+
+#: a 1% delta (~400 edges) appended to a ~40k-edge log spans at most two
+#: 1024-edge stripes, so only the few members owning those stripes refresh
+N_USERS, N_MERCHANTS, N_EDGES = 6_000, 2_400, 40_960
+STRIPE = 1_024
+N_SAMPLES = 40
+RATIO = 0.1
+SEED = 7
+DELTA_FRACTION = 0.01
+MIN_SPEEDUP = 5.0
+
+
+def build_config() -> EnsemFDetConfig:
+    return EnsemFDetConfig(
+        sampler=StableEdgeSampler(RATIO, stripe=STRIPE),
+        n_samples=N_SAMPLES,
+        fdet=FdetConfig(max_blocks=15),
+        executor="serial",
+        seed=SEED,
+    )
+
+
+def measure() -> dict:
+    """Cold-fit vs update wall-clock, plus the identity cross-check."""
+    graph = chung_lu_bipartite(N_USERS, N_MERCHANTS, N_EDGES, rng=0)
+    config = build_config()
+    detector = IncrementalEnsemFDet(config)
+    cold_fit = time_callable(detector.fit, graph)
+
+    n_delta = int(DELTA_FRACTION * graph.n_edges)
+    rng = np.random.default_rng(SEED + 1)
+    delta_users = rng.integers(0, N_USERS, n_delta)
+    delta_merchants = rng.integers(0, N_MERCHANTS, n_delta)
+    update = time_callable(detector.update, delta_users, delta_merchants)
+    report = update.value
+
+    # identity with a cold re-fit on the grown graph, every threshold
+    refit = EnsemFDet(config).fit(detector.graph)
+    identical = refit.vote_table.user_votes == detector.vote_table.user_votes and (
+        refit.vote_table.merchant_votes == detector.vote_table.merchant_votes
+    )
+    speedup = cold_fit.seconds / max(update.seconds, 1e-9)
+    return {
+        "n_edges": graph.n_edges,
+        "n_delta_edges": n_delta,
+        "n_samples": N_SAMPLES,
+        "n_refreshed": report.n_refreshed,
+        "cold_fit_seconds": round(cold_fit.seconds, 4),
+        "update_seconds": round(update.seconds, 4),
+        "speedup": round(speedup, 2),
+        "identical_to_cold_refit": identical,
+    }
+
+
+def test_incremental_update_speedup_and_identity():
+    stats = measure()
+    print()
+    for key, value in stats.items():
+        print(f"  {key}: {value}")
+    assert stats["identical_to_cold_refit"], stats
+    # a stripe-local 1% delta must leave most members untouched...
+    assert stats["n_refreshed"] < N_SAMPLES // 2, stats
+    # ...which is what buys the headline speedup
+    assert stats["speedup"] >= MIN_SPEEDUP, stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true", help="rewrite the committed baseline")
+    args = parser.parse_args(argv)
+
+    stats = measure()
+    print(json.dumps(stats, indent=2))
+    if args.update:
+        os.makedirs(os.path.dirname(BASELINE), exist_ok=True)
+        payload = {"meta": {"cpu_count": os.cpu_count()}, "incremental": stats}
+        with open(BASELINE, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {BASELINE}")
+    if not stats["identical_to_cold_refit"] or stats["speedup"] < MIN_SPEEDUP:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

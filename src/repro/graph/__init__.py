@@ -1,10 +1,19 @@
 """Bipartite-graph substrate: the *"who buy-from where"* graph and friends."""
 
 from .bipartite import BipartiteGraph
-from .builder import BuiltGraph, GraphBuilder
+from .builder import BuiltGraph, GraphAccumulator, GraphBuilder
 from .algorithms import connected_components, core_numbers, k_core, largest_component
 from .matrix import from_scipy, to_dense, to_scipy
-from .io import load_edge_list, load_npz, save_edge_list, save_npz
+from .io import (
+    EdgeBatch,
+    iter_edge_batches,
+    iter_npz_batches,
+    load_edge_list,
+    load_edge_list_chunked,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
 from .projections import co_purchase_counts, project_merchants, project_users
 from .stats import GraphStats, degree_gini, degree_histogram, describe, edge_density
 from .validation import assert_subgraph_of, has_duplicate_edges, validate_graph
@@ -13,6 +22,11 @@ __all__ = [
     "BipartiteGraph",
     "GraphBuilder",
     "BuiltGraph",
+    "GraphAccumulator",
+    "EdgeBatch",
+    "iter_edge_batches",
+    "iter_npz_batches",
+    "load_edge_list_chunked",
     "connected_components",
     "largest_component",
     "core_numbers",

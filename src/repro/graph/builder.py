@@ -5,18 +5,24 @@ keys (strings, database ids). :class:`GraphBuilder` interns those keys into
 dense indices in insertion order, optionally collapses duplicate purchases,
 and produces an immutable graph plus the key↔index mappings needed to report
 detections back in terms of the original identifiers.
+
+:class:`GraphAccumulator` is the streaming sibling: it grows a graph by
+appending whole edge *batches* (numpy arrays of integer labels, e.g. the
+chunks yielded by :func:`repro.graph.io.iter_edge_batches`), interning
+labels across batches, and snapshots the current graph through the trusted
+constructor — the already-validated prefix is never re-scanned.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping
+from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..errors import GraphError
 from .bipartite import BipartiteGraph
 
-__all__ = ["GraphBuilder", "BuiltGraph"]
+__all__ = ["GraphBuilder", "BuiltGraph", "GraphAccumulator"]
 
 
 class BuiltGraph:
@@ -158,4 +164,191 @@ class GraphBuilder:
             merchant_keys=self._merchant_keys,
             user_index=self._user_index,
             merchant_index=self._merchant_index,
+        )
+
+
+class GraphAccumulator:
+    """Grow a bipartite graph by appending edge batches, out-of-core style.
+
+    Unlike :class:`GraphBuilder` (per-record, arbitrary hashable keys,
+    single ``build()``), the accumulator is array-oriented and re-usable:
+    each :meth:`append` takes whole numpy batches of **integer labels**
+    (global node ids, as stored in ``BipartiteGraph.user_labels``), interns
+    only the labels it has not seen before, and :meth:`graph` snapshots the
+    current state at any time through ``BipartiteGraph._from_trusted`` —
+    the already-appended prefix is never copied back out of arrays nor
+    re-validated.
+
+    >>> acc = GraphAccumulator()
+    >>> acc.append([10, 10], [7, 8])
+    (0, 2)
+    >>> acc.append([11], [7], weights=[2.0])
+    (2, 3)
+    >>> acc.graph().n_edges
+    3
+
+    ``append`` returns the ``(start, stop)`` edge-index range of the batch,
+    which is what incremental detectors use to locate the delta.
+    """
+
+    def __init__(self) -> None:
+        self._user_index: dict[int, int] = {}
+        self._merchant_index: dict[int, int] = {}
+        self._user_labels: list[int] = []
+        self._merchant_labels: list[int] = []
+        # consolidated prefix + pending (not yet concatenated) batches
+        self._edge_users = np.empty(0, dtype=np.int64)
+        self._edge_merchants = np.empty(0, dtype=np.int64)
+        self._weights: np.ndarray | None = None
+        self._pending_users: list[np.ndarray] = []
+        self._pending_merchants: list[np.ndarray] = []
+        self._pending_weights: list[np.ndarray | None] = []
+        self._pending_edges = 0
+        self._any_weighted = False
+
+    @classmethod
+    def from_graph(cls, graph: BipartiteGraph) -> "GraphAccumulator":
+        """Seed an accumulator with an existing graph's nodes and edges.
+
+        Later batches append *after* the graph's edges (indices
+        ``graph.n_edges`` onwards) and intern against its labels, so a
+        detector state fitted on ``graph`` can keep growing it in place.
+        """
+        acc = cls()
+        acc._user_labels = graph.user_labels.tolist()
+        acc._merchant_labels = graph.merchant_labels.tolist()
+        acc._user_index = {label: i for i, label in enumerate(acc._user_labels)}
+        acc._merchant_index = {label: i for i, label in enumerate(acc._merchant_labels)}
+        if len(acc._user_index) != len(acc._user_labels):
+            raise GraphError("graph has duplicate user labels; cannot accumulate onto it")
+        if len(acc._merchant_index) != len(acc._merchant_labels):
+            raise GraphError("graph has duplicate merchant labels; cannot accumulate onto it")
+        acc._edge_users = graph.edge_users
+        acc._edge_merchants = graph.edge_merchants
+        acc._weights = graph.edge_weights
+        acc._any_weighted = graph.edge_weights is not None
+        return acc
+
+    @property
+    def n_users(self) -> int:
+        """Distinct user labels interned so far."""
+        return len(self._user_labels)
+
+    @property
+    def n_merchants(self) -> int:
+        """Distinct merchant labels interned so far."""
+        return len(self._merchant_labels)
+
+    @property
+    def n_edges(self) -> int:
+        """Edges appended so far."""
+        return int(self._edge_users.size) + self._pending_edges
+
+    @property
+    def is_weighted(self) -> bool:
+        """``True`` once any batch carried an explicit weight column."""
+        return self._any_weighted
+
+    def _intern_batch(
+        self, raw: np.ndarray, index: dict[int, int], labels: list[int]
+    ) -> np.ndarray:
+        """Map raw labels to dense indices, interning unseen labels.
+
+        Vectorised through the batch's unique values: the python dict is
+        consulted once per *distinct* label, not once per edge.
+        """
+        unique, inverse = np.unique(raw, return_inverse=True)
+        lut = np.empty(unique.size, dtype=np.int64)
+        get = index.get
+        for position, label in enumerate(unique.tolist()):
+            node = get(label)
+            if node is None:
+                node = len(labels)
+                index[label] = node
+                labels.append(label)
+            lut[position] = node
+        return lut[inverse]
+
+    def append(
+        self,
+        users: Sequence[int] | np.ndarray,
+        merchants: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> tuple[int, int]:
+        """Append one batch of ``(user_label, merchant_label[, weight])`` edges.
+
+        Only the incoming batch is validated; the existing prefix is left
+        untouched. Returns the half-open edge-index range ``(start, stop)``
+        the batch now occupies.
+        """
+        raw_users = np.asarray(users, dtype=np.int64)
+        raw_merchants = np.asarray(merchants, dtype=np.int64)
+        if raw_users.ndim != 1 or raw_merchants.ndim != 1:
+            raise GraphError("edge batches must be one-dimensional label arrays")
+        if raw_users.shape != raw_merchants.shape:
+            raise GraphError(
+                f"batch endpoint arrays differ in length: {raw_users.size} vs {raw_merchants.size}"
+            )
+        batch_weights: np.ndarray | None = None
+        if weights is not None:
+            batch_weights = np.asarray(weights, dtype=np.float64)
+            if batch_weights.shape != raw_users.shape:
+                raise GraphError("batch weights length does not match batch edge count")
+
+        start = self.n_edges
+        if batch_weights is not None:
+            self._any_weighted = True
+        if raw_users.size:
+            self._pending_users.append(
+                self._intern_batch(raw_users, self._user_index, self._user_labels)
+            )
+            self._pending_merchants.append(
+                self._intern_batch(raw_merchants, self._merchant_index, self._merchant_labels)
+            )
+            # None placeholder for unweighted batches — unit weights are only
+            # materialised at consolidation, and only if the stream ever
+            # turns weighted
+            self._pending_weights.append(batch_weights)
+            self._pending_edges += int(raw_users.size)
+        return start, self.n_edges
+
+    def _consolidate(self) -> None:
+        if self._any_weighted and self._weights is None:
+            # a weighted batch arrived after an unweighted prefix: give the
+            # prefix explicit unit weights so the arrays stay parallel
+            self._weights = np.ones(self._edge_users.size, dtype=np.float64)
+        if not self._pending_edges:
+            return
+        self._edge_users = np.concatenate([self._edge_users, *self._pending_users])
+        self._edge_merchants = np.concatenate(
+            [self._edge_merchants, *self._pending_merchants]
+        )
+        if self._any_weighted:
+            filled = [
+                weights if weights is not None else np.ones(users.size, dtype=np.float64)
+                for weights, users in zip(self._pending_weights, self._pending_users)
+            ]
+            self._weights = np.concatenate([self._weights, *filled])
+        self._pending_users.clear()
+        self._pending_merchants.clear()
+        self._pending_weights.clear()
+        self._pending_edges = 0
+
+    def graph(self) -> BipartiteGraph:
+        """Snapshot the accumulated state as an immutable graph.
+
+        Uses the trusted constructor: interning guarantees every endpoint
+        index is in range, so the O(|E|) validation scan is skipped — the
+        cost of a snapshot is one concatenation of the batches appended
+        since the previous snapshot.
+        """
+        self._consolidate()
+        return BipartiteGraph._from_trusted(
+            n_users=len(self._user_labels),
+            n_merchants=len(self._merchant_labels),
+            edge_users=self._edge_users,
+            edge_merchants=self._edge_merchants,
+            edge_weights=self._weights,
+            user_labels=np.array(self._user_labels, dtype=np.int64),
+            merchant_labels=np.array(self._merchant_labels, dtype=np.int64),
         )

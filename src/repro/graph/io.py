@@ -5,21 +5,84 @@ Two formats:
 * **edge-list TSV** — ``user<TAB>merchant[<TAB>weight]`` rows with a ``#``
   header carrying partition sizes; interoperable with awk/cut pipelines.
 * **npz** — a compact numpy archive preserving labels and weights exactly.
+
+Both formats also expose a **chunked** read path for streaming ingestion:
+:func:`iter_edge_batches` / :func:`iter_npz_batches` yield fixed-size
+:class:`EdgeBatch` chunks of raw global labels without ever holding the
+whole file's parsed rows, and :func:`load_edge_list_chunked` feeds them
+through a :class:`~repro.graph.builder.GraphAccumulator` to reconstruct a
+graph bitwise-identical to :func:`load_edge_list`'s.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import IO, Iterator, NamedTuple
 
 import numpy as np
 
 from ..errors import GraphError
 from .bipartite import BipartiteGraph
+from .builder import GraphAccumulator
 
-__all__ = ["save_edge_list", "load_edge_list", "save_npz", "load_npz"]
+__all__ = [
+    "EdgeBatch",
+    "save_edge_list",
+    "load_edge_list",
+    "load_edge_list_chunked",
+    "iter_edge_batches",
+    "iter_npz_batches",
+    "save_npz",
+    "load_npz",
+]
 
 _HEADER_PREFIX = "# bipartite"
+
+#: default number of edges per chunk for the streaming readers
+DEFAULT_BATCH_SIZE = 65_536
+
+
+class EdgeBatch(NamedTuple):
+    """One chunk of edges in **raw label** space (not interned indices)."""
+
+    users: np.ndarray
+    merchants: np.ndarray
+    weights: np.ndarray | None
+
+    @property
+    def n_edges(self) -> int:
+        """Edges in this batch."""
+        return int(self.users.size)
+
+
+def _parse_header(header: str, path: Path) -> dict[str, str]:
+    if not header.startswith(_HEADER_PREFIX):
+        raise GraphError(f"{path}: missing '{_HEADER_PREFIX}' header")
+    return dict(item.split("=") for item in header.strip().split()[2:])
+
+
+def _declared_edges(fields: dict[str, str], path: Path) -> int | None:
+    declared = fields.get("edges")
+    if declared is None:
+        return None
+    try:
+        return int(declared)
+    except ValueError:
+        raise GraphError(f"{path}: malformed edges= count {declared!r} in header") from None
+
+
+def _check_declared_edges(declared: int | None, parsed: int, path: Path) -> None:
+    """Cross-check the header's ``edges=`` count against the parsed body.
+
+    A truncated or concatenated file must not load silently as a smaller
+    (still structurally valid) graph.
+    """
+    if declared is not None and parsed != declared:
+        raise GraphError(
+            f"{path}: header declares edges={declared} but the body has {parsed} "
+            "edge rows (truncated or corrupted file?)"
+        )
 
 
 def save_edge_list(graph: BipartiteGraph, path: str | os.PathLike[str]) -> None:
@@ -46,36 +109,45 @@ def save_edge_list(graph: BipartiteGraph, path: str | os.PathLike[str]) -> None:
                 fh.write(f"{u}\t{v}\t{float(weights[i])!r}\n")
 
 
+def _iter_rows(
+    fh: IO[str], path: Path, weighted: bool, start_line: int = 2
+) -> Iterator[tuple[int, int, float]]:
+    """Yield ``(user, merchant, weight)`` per data row; shared by both loaders."""
+    for line_no, line in enumerate(fh, start=start_line):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) < 2:
+            raise GraphError(f"{path}:{line_no}: expected at least two columns")
+        weight = 1.0
+        if weighted:
+            if len(parts) < 3:
+                raise GraphError(f"{path}:{line_no}: weighted file missing weight column")
+            weight = float(parts[2])
+        yield int(parts[0]), int(parts[1]), weight
+
+
 def load_edge_list(path: str | os.PathLike[str]) -> BipartiteGraph:
     """Read a TSV written by :func:`save_edge_list`.
 
     Labels are re-interned into dense local indices; the original labels are
-    preserved in ``user_labels`` / ``merchant_labels``.
+    preserved in ``user_labels`` / ``merchant_labels``. The header's
+    ``edges=`` count is cross-checked against the rows actually parsed.
     """
     path = Path(path)
     edge_users: list[int] = []
     edge_merchants: list[int] = []
     weights: list[float] = []
-    weighted = False
     with path.open("r", encoding="utf-8") as fh:
-        header = fh.readline()
-        if not header.startswith(_HEADER_PREFIX):
-            raise GraphError(f"{path}: missing '{_HEADER_PREFIX}' header")
-        fields = dict(item.split("=") for item in header.strip().split()[2:])
+        fields = _parse_header(fh.readline(), path)
         weighted = bool(int(fields.get("weighted", "0")))
-        for line_no, line in enumerate(fh, start=2):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split("\t")
-            if len(parts) < 2:
-                raise GraphError(f"{path}:{line_no}: expected at least two columns")
-            edge_users.append(int(parts[0]))
-            edge_merchants.append(int(parts[1]))
+        for user, merchant, weight in _iter_rows(fh, path, weighted):
+            edge_users.append(user)
+            edge_merchants.append(merchant)
             if weighted:
-                if len(parts) < 3:
-                    raise GraphError(f"{path}:{line_no}: weighted file missing weight column")
-                weights.append(float(parts[2]))
+                weights.append(weight)
+    _check_declared_edges(_declared_edges(fields, path), len(edge_users), path)
 
     user_labels, local_users = np.unique(
         np.array(edge_users, dtype=np.int64), return_inverse=True
@@ -92,6 +164,116 @@ def load_edge_list(path: str | os.PathLike[str]) -> BipartiteGraph:
         user_labels=user_labels,
         merchant_labels=merchant_labels,
     )
+
+
+def iter_edge_batches(
+    path: str | os.PathLike[str],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    strict: bool = True,
+) -> Iterator[EdgeBatch]:
+    """Stream an edge-list TSV as fixed-size :class:`EdgeBatch` chunks.
+
+    Memory stays constant in the file size: only ``batch_size`` parsed rows
+    are alive at any moment. Labels are yielded raw (not interned) — feed
+    the batches to a :class:`~repro.graph.builder.GraphAccumulator`, which
+    interns across chunks.
+
+    Parameters
+    ----------
+    path:
+        Edge-list TSV with the ``# bipartite`` header.
+    batch_size:
+        Maximum edges per yielded batch.
+    strict:
+        When ``True`` (default), the header's ``edges=`` count is verified
+        against the total rows streamed once the file is exhausted — the
+        same truncation guard as :func:`load_edge_list`. Pass ``False``
+        for append-in-progress files (e.g. the ``watch`` CLI tailing a
+        growing log) whose header count is expected to lag.
+    """
+    if batch_size < 1:
+        raise GraphError(f"batch_size must be >= 1, got {batch_size}")
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        fields = _parse_header(fh.readline(), path)
+        weighted = bool(int(fields.get("weighted", "0")))
+        users: list[int] = []
+        merchants: list[int] = []
+        weights: list[float] = []
+        total = 0
+
+        def flush() -> EdgeBatch:
+            batch = EdgeBatch(
+                users=np.array(users, dtype=np.int64),
+                merchants=np.array(merchants, dtype=np.int64),
+                weights=np.array(weights, dtype=np.float64) if weighted else None,
+            )
+            users.clear()
+            merchants.clear()
+            weights.clear()
+            return batch
+
+        for user, merchant, weight in _iter_rows(fh, path, weighted):
+            users.append(user)
+            merchants.append(merchant)
+            if weighted:
+                weights.append(weight)
+            total += 1
+            if len(users) >= batch_size:
+                yield flush()
+        if users:
+            yield flush()
+    if strict:
+        _check_declared_edges(_declared_edges(fields, path), total, path)
+
+
+def _canonical_labels(graph: BipartiteGraph) -> BipartiteGraph:
+    """Re-index so labels are sorted ascending (the ``np.unique`` convention).
+
+    The accumulator interns labels in first-appearance order; the whole-file
+    loader sorts them. Re-ranking the label arrays makes the chunked path's
+    output bitwise-identical to :func:`load_edge_list`'s.
+    """
+    user_order = np.argsort(graph.user_labels, kind="stable")
+    merchant_order = np.argsort(graph.merchant_labels, kind="stable")
+    user_rank = np.empty_like(user_order)
+    merchant_rank = np.empty_like(merchant_order)
+    user_rank[user_order] = np.arange(user_order.size, dtype=np.int64)
+    merchant_rank[merchant_order] = np.arange(merchant_order.size, dtype=np.int64)
+    return BipartiteGraph._from_trusted(
+        n_users=graph.n_users,
+        n_merchants=graph.n_merchants,
+        edge_users=user_rank[graph.edge_users],
+        edge_merchants=merchant_rank[graph.edge_merchants],
+        edge_weights=graph.edge_weights,
+        user_labels=graph.user_labels[user_order],
+        merchant_labels=graph.merchant_labels[merchant_order],
+    )
+
+
+def load_edge_list_chunked(
+    path: str | os.PathLike[str], batch_size: int = DEFAULT_BATCH_SIZE
+) -> BipartiteGraph:
+    """Constant-memory equivalent of :func:`load_edge_list`.
+
+    Streams the file in ``batch_size`` chunks through a
+    :class:`~repro.graph.builder.GraphAccumulator` (so peak memory is the
+    output graph plus one chunk) and returns a graph **bitwise-identical**
+    to the whole-file loader's: same edge order, same sorted label arrays,
+    same dtypes.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        fields = _parse_header(fh.readline(), path)
+    weighted = bool(int(fields.get("weighted", "0")))
+    accumulator = GraphAccumulator()
+    for batch in iter_edge_batches(path, batch_size=batch_size):
+        accumulator.append(batch.users, batch.merchants, batch.weights)
+    graph = _canonical_labels(accumulator.graph())
+    if weighted and graph.edge_weights is None:
+        # zero-edge weighted file: match the whole-file loader's empty array
+        graph = graph.with_weights(np.empty(0, dtype=np.float64))
+    return graph
 
 
 def save_npz(graph: BipartiteGraph, path: str | os.PathLike[str]) -> None:
@@ -121,3 +303,31 @@ def load_npz(path: str | os.PathLike[str]) -> BipartiteGraph:
             user_labels=data["user_labels"],
             merchant_labels=data["merchant_labels"],
         )
+
+
+def iter_npz_batches(
+    path: str | os.PathLike[str], batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[EdgeBatch]:
+    """Stream a saved ``.npz`` graph as :class:`EdgeBatch` chunks.
+
+    Edges come out in stored order with endpoints translated back to
+    **global labels**, so the batches are interchangeable with
+    :func:`iter_edge_batches` output — e.g. both can seed the same
+    :class:`~repro.graph.builder.GraphAccumulator` or be replayed into an
+    incremental detector.
+    """
+    if batch_size < 1:
+        raise GraphError(f"batch_size must be >= 1, got {batch_size}")
+    with np.load(Path(path)) as data:
+        edge_users = data["edge_users"]
+        edge_merchants = data["edge_merchants"]
+        user_labels = data["user_labels"]
+        merchant_labels = data["merchant_labels"]
+        weights = data["edge_weights"] if "edge_weights" in data else None
+        for start in range(0, int(edge_users.size), batch_size):
+            stop = min(start + batch_size, int(edge_users.size))
+            yield EdgeBatch(
+                users=user_labels[edge_users[start:stop]],
+                merchants=merchant_labels[edge_merchants[start:stop]],
+                weights=None if weights is None else weights[start:stop],
+            )

@@ -4,6 +4,7 @@ from .base import Sampler, check_ratio, resolve_rng
 from .one_side import OneSideNodeSampler, Side, recommend_side
 from .random_edge import RandomEdgeSampler
 from .registry import PAPER_FIG5_NAMES, available_samplers, make_sampler
+from .stable import StableEdgeSampler
 from .theory import (
     epsilon_approximation_holds,
     expected_sampled_degree_counts_es,
@@ -18,6 +19,7 @@ __all__ = [
     "check_ratio",
     "resolve_rng",
     "RandomEdgeSampler",
+    "StableEdgeSampler",
     "OneSideNodeSampler",
     "TwoSideNodeSampler",
     "Side",

@@ -13,6 +13,7 @@ from ..errors import SamplingError
 from .base import Sampler
 from .one_side import OneSideNodeSampler, Side
 from .random_edge import RandomEdgeSampler
+from .stable import StableEdgeSampler
 from .two_side import TwoSideNodeSampler
 
 __all__ = ["make_sampler", "available_samplers", "PAPER_FIG5_NAMES"]
@@ -27,6 +28,8 @@ _FACTORIES: dict[str, Callable[[float], Sampler]] = {
     "node_merchant_bagging": lambda ratio: OneSideNodeSampler(ratio, Side.MERCHANT),
     "tns": lambda ratio: TwoSideNodeSampler(ratio),
     "two_sides_bagging": lambda ratio: TwoSideNodeSampler(ratio),
+    "ses": lambda ratio: StableEdgeSampler(ratio),
+    "stable_edge": lambda ratio: StableEdgeSampler(ratio),
 }
 
 #: the four sampling variants of the paper's Fig. 5, by canonical name

@@ -1,0 +1,191 @@
+"""IncrementalEnsemFDet: update-equals-cold-refit, vote merging, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import uniform_bipartite
+from repro.ensemble import (
+    EnsemFDet,
+    EnsemFDetConfig,
+    IncrementalEnsemFDet,
+    load_detection_state,
+    normalized_majority_vote,
+)
+from repro.errors import DetectionError
+from repro.fdet import FdetConfig
+from repro.sampling import RandomEdgeSampler, StableEdgeSampler
+
+
+def make_config(**overrides):
+    defaults = dict(
+        sampler=StableEdgeSampler(0.2, stripe=128),
+        n_samples=12,
+        fdet=FdetConfig(max_blocks=8),
+        executor="serial",
+        seed=17,
+    )
+    defaults.update(overrides)
+    return EnsemFDetConfig(**defaults)
+
+
+@pytest.fixture
+def graph():
+    return uniform_bipartite(250, 120, 2400, rng=1)
+
+
+@pytest.fixture
+def delta(graph):
+    rng = np.random.default_rng(8)
+    n = graph.n_edges // 100  # 1% delta
+    return rng.integers(0, 250, n), rng.integers(0, 120, n)
+
+
+def assert_matches_cold_refit(detector, config):
+    cold = EnsemFDet(config).fit(detector.graph)
+    assert cold.vote_table.user_votes == detector.vote_table.user_votes
+    assert cold.vote_table.merchant_votes == detector.vote_table.merchant_votes
+    for threshold in range(1, config.n_samples + 1):
+        warm = detector.detect(threshold)
+        fresh = cold.detect(threshold)
+        assert np.array_equal(warm.user_labels, fresh.user_labels)
+        assert np.array_equal(warm.merchant_labels, fresh.merchant_labels)
+
+
+class TestUpdateIdentity:
+    def test_one_percent_delta_matches_cold_refit(self, graph, delta):
+        config = make_config()
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        report = detector.update(*delta)
+        assert report.n_new_edges == delta[0].size
+        assert 0 < report.n_refreshed < config.n_samples
+        assert_matches_cold_refit(detector, config)
+
+    def test_sequential_updates_match(self, graph, delta):
+        config = make_config()
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        users, merchants = delta
+        half = users.size // 2
+        detector.update(users[:half], merchants[:half])
+        detector.update(users[half:], merchants[half:])
+        assert_matches_cold_refit(detector, config)
+
+    def test_delta_with_new_nodes(self, graph):
+        config = make_config()
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        detector.update([10**9, 10**9 + 1], [10**6, 3])
+        assert detector.graph.n_users == graph.n_users + 2
+        assert_matches_cold_refit(detector, config)
+
+    def test_weighted_delta_onto_unweighted_graph(self, graph, delta):
+        config = make_config()
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        users, merchants = delta
+        detector.update(users, merchants, weights=np.full(users.size, 2.5))
+        assert detector.graph.is_weighted
+        assert_matches_cold_refit(detector, config)
+
+    def test_empty_delta_is_a_noop(self, graph):
+        config = make_config()
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        before = detector.detect(3)
+        report = detector.update([], [])
+        assert report.n_refreshed == 0 and report.n_new_edges == 0
+        after = detector.detect(3)
+        assert np.array_equal(before.user_labels, after.user_labels)
+
+    def test_appearance_tracking_stays_consistent(self, graph, delta):
+        config = make_config(track_appearances=True)
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        detector.update(*delta)
+        cold = EnsemFDet(config).fit(detector.graph)
+        warm = normalized_majority_vote(detector.vote_table, 0.5)
+        fresh = normalized_majority_vote(cold.vote_table, 0.5)
+        assert np.array_equal(warm.user_labels, fresh.user_labels)
+        assert np.array_equal(warm.merchant_labels, fresh.merchant_labels)
+
+
+class TestUpdateReport:
+    def test_refresh_fraction_is_small_for_local_delta(self, graph, delta):
+        # one stripe spans the whole delta -> only ≈ S·N members refresh
+        config = make_config(sampler=StableEdgeSampler(0.2, stripe=4096))
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        report = detector.update(*delta)
+        assert report.n_refreshed <= config.n_samples // 2
+        assert report.total_seconds >= 0
+
+
+class TestValidation:
+    def test_rejects_unstable_sampler(self):
+        with pytest.raises(DetectionError, match="StableEdgeSampler"):
+            IncrementalEnsemFDet(make_config(sampler=RandomEdgeSampler(0.2)))
+
+    def test_rejects_missing_seed(self):
+        with pytest.raises(DetectionError, match="seed"):
+            IncrementalEnsemFDet(make_config(seed=None))
+
+    def test_update_before_fit_rejected(self, graph):
+        detector = IncrementalEnsemFDet(make_config())
+        with pytest.raises(DetectionError, match="fit"):
+            detector.update([0], [0])
+        with pytest.raises(DetectionError, match="fit"):
+            detector.detect(1)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip_detections(self, graph, tmp_path):
+        config = make_config()
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        path = tmp_path / "state.npz"
+        detector.save(path)
+        loaded = IncrementalEnsemFDet.load(path)
+        assert loaded.graph == detector.graph
+        for threshold in (1, 3, 6):
+            assert np.array_equal(
+                loaded.detect(threshold).user_labels,
+                detector.detect(threshold).user_labels,
+            )
+
+    def test_update_after_load_matches_in_memory(self, graph, delta, tmp_path):
+        config = make_config()
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        path = tmp_path / "state.npz"
+        detector.save(path)
+        loaded = IncrementalEnsemFDet.load(path)
+        report_memory = detector.update(*delta)
+        report_loaded = loaded.update(*delta)
+        assert report_memory.refreshed_samples == report_loaded.refreshed_samples
+        assert detector.vote_table.user_votes == loaded.vote_table.user_votes
+        assert_matches_cold_refit(loaded, config)
+
+    def test_state_archive_contents(self, graph, tmp_path):
+        config = make_config()
+        detector = IncrementalEnsemFDet(config)
+        detector.fit(graph)
+        path = tmp_path / "state.npz"
+        detector.save(path)
+        state = load_detection_state(path)
+        assert state.n_samples == config.n_samples
+        assert state.config["sampler"]["stripe"] == 128
+        assert state.config["ensemble"]["seed"] == 17
+
+    def test_weighted_graph_state_roundtrip(self, graph, tmp_path):
+        config = make_config()
+        detector = IncrementalEnsemFDet(config)
+        rng = np.random.default_rng(2)
+        detector.fit(graph.with_weights(rng.random(graph.n_edges)))
+        path = tmp_path / "state.npz"
+        detector.save(path)
+        loaded = IncrementalEnsemFDet.load(path)
+        assert loaded.graph.is_weighted
+        assert np.array_equal(loaded.graph.edge_weights, detector.graph.edge_weights)

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.datasets import load_dataset
+from repro.datasets import load_dataset, uniform_bipartite
+from repro.errors import AggregationError
 from repro.graph import save_edge_list
 
 
@@ -40,6 +42,23 @@ class TestDetectCommand:
         )
         assert code == 0
         assert "T=2" in capsys.readouterr().out
+
+    def test_explicit_threshold_zero_not_replaced_by_default(self, edges_file):
+        # regression: `args.threshold or default` swallowed an explicit 0 and
+        # silently ran with T=N//4; 0 must reach the aggregator and be rejected
+        with pytest.raises(AggregationError, match="threshold"):
+            main(
+                ["detect", str(edges_file), "--ratio", "0.4", "--samples", "8",
+                 "--threshold", "0", "--executor", "serial"]
+            )
+
+    def test_explicit_threshold_one_honoured(self, edges_file, capsys):
+        code = main(
+            ["detect", str(edges_file), "--ratio", "0.4", "--samples", "8",
+             "--threshold", "1", "--executor", "serial"]
+        )
+        assert code == 0
+        assert "T=1" in capsys.readouterr().out
 
     @pytest.mark.parametrize("engine", ["reference", "fast"])
     def test_engine_flag(self, edges_file, capsys, engine):
@@ -86,3 +105,93 @@ class TestExperimentsCommand:
         code = main(["experiments", "table1", "--scale", "tiny"])
         assert code == 0
         assert "Table I" in capsys.readouterr().out
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    graph = uniform_bipartite(120, 60, 900, rng=0)
+    path = tmp_path / "stream.tsv"
+    save_edge_list(graph, path)
+    return path
+
+
+def _watch_args(stream_file, state, extra=()):
+    return [
+        "watch", str(stream_file), "--state", str(state),
+        "--ratio", "0.25", "--samples", "8", "--stripe", "128",
+        "--executor", "serial", "--interval", "0",
+        *extra,
+    ]
+
+
+class TestWatchCommand:
+    def test_cold_fit_creates_state(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        code = main(_watch_args(stream_file, state, ["--iterations", "0"]))
+        assert code == 0
+        assert state.exists()
+        out = capsys.readouterr().out
+        assert "# cold fit" in out
+        assert "# detected" in out
+
+    def test_incremental_update_on_appended_rows(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        assert main(_watch_args(stream_file, state, ["--iterations", "0"])) == 0
+        capsys.readouterr()
+        rng = np.random.default_rng(4)
+        with stream_file.open("a") as fh:
+            for u, v in zip(rng.integers(0, 120, 12), rng.integers(0, 60, 12)):
+                fh.write(f"{u}\t{v}\n")
+        code = main(_watch_args(stream_file, state, ["--iterations", "1"]))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# loaded state" in out
+        assert "# update: +12 edges" in out
+
+    def test_no_new_rows_no_update(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        assert main(_watch_args(stream_file, state, ["--iterations", "0"])) == 0
+        capsys.readouterr()
+        code = main(_watch_args(stream_file, state, ["--iterations", "2"]))
+        assert code == 0
+        assert "# update" not in capsys.readouterr().out
+
+
+class TestUpdateCommand:
+    def test_headerless_delta(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        assert main(_watch_args(stream_file, state, ["--iterations", "0"])) == 0
+        capsys.readouterr()
+        delta = tmp_path / "delta.tsv"
+        delta.write_text("3\t7\n5\t9\n")
+        code = main(["update", str(delta), "--state", str(state)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# update: +2 edges" in out
+        assert "# detected" in out
+
+    def test_missing_state_errors(self, tmp_path, capsys):
+        delta = tmp_path / "delta.tsv"
+        delta.write_text("0\t0\n")
+        code = main(["update", str(delta), "--state", str(tmp_path / "none.npz")])
+        assert code == 2
+        assert "no detection state" in capsys.readouterr().err
+
+    def test_update_then_watch_does_not_lose_file_rows(
+        self, stream_file, tmp_path, capsys
+    ):
+        # regression: watch used the state's edge count as its file offset,
+        # so delta edges applied via 'update' made it skip freshly appended
+        # file rows; the offset is tracked in the state's meta instead
+        state = tmp_path / "state.npz"
+        assert main(_watch_args(stream_file, state, ["--iterations", "0"])) == 0
+        delta = tmp_path / "delta.tsv"
+        delta.write_text("1\t1\n2\t2\n3\t3\n")
+        assert main(["update", str(delta), "--state", str(state)]) == 0
+        capsys.readouterr()
+        with stream_file.open("a") as fh:
+            for row in range(5):
+                fh.write(f"{row}\t{row % 3}\n")
+        code = main(_watch_args(stream_file, state, ["--iterations", "1"]))
+        assert code == 0
+        assert "# update: +5 edges" in capsys.readouterr().out

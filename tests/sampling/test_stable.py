@@ -1,0 +1,95 @@
+"""StableEdgeSampler: determinism, prefix stability, sampling behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import uniform_bipartite
+from repro.errors import SamplingError
+from repro.graph import GraphAccumulator
+from repro.sampling import StableEdgeSampler, make_sampler
+
+
+@pytest.fixture
+def medium_graph():
+    return uniform_bipartite(300, 150, 4000, rng=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_samples(self, medium_graph):
+        sampler = StableEdgeSampler(0.2, stripe=32)
+        first = sampler.sample_many(medium_graph, 10, 42)
+        second = sampler.sample_many(medium_graph, 10, 42)
+        assert all(a == b for a, b in zip(first, second))
+
+    def test_different_seed_differs(self, medium_graph):
+        sampler = StableEdgeSampler(0.2, stripe=32)
+        first = sampler.sample_many(medium_graph, 10, 1)
+        second = sampler.sample_many(medium_graph, 10, 2)
+        assert any(a != b for a, b in zip(first, second))
+
+    def test_single_sample_is_member_zero(self, medium_graph):
+        sampler = StableEdgeSampler(0.3, stripe=16)
+        assert sampler.sample(medium_graph, 5) == sampler.sample_many(medium_graph, 3, 5)[0]
+
+
+class TestPrefixStability:
+    def test_appending_edges_preserves_membership(self, medium_graph):
+        sampler = StableEdgeSampler(0.25, stripe=64)
+        key = sampler.derive_key(9)
+        acc = GraphAccumulator.from_graph(medium_graph)
+        rng = np.random.default_rng(0)
+        acc.append(rng.integers(0, 300, 500), rng.integers(0, 150, 500))
+        grown = acc.graph()
+        for index in range(6):
+            old = sampler.edge_mask(medium_graph.n_edges, key, index)
+            new = sampler.edge_mask(grown.n_edges, key, index)
+            assert np.array_equal(new[: medium_graph.n_edges], old)
+
+    def test_stripe_row_matches_inclusion_matrix(self):
+        sampler = StableEdgeSampler(0.3, stripe=16)
+        key = sampler.derive_key(21)
+        matrix = sampler.stripe_inclusion(50, 8, key)
+        for index in range(8):
+            assert np.array_equal(sampler.stripe_row(50, index, key), matrix[index])
+
+    def test_delta_in_one_stripe_hits_few_members(self, medium_graph):
+        sampler = StableEdgeSampler(0.1, stripe=4096)  # graph fits in one stripe
+        key = sampler.derive_key(3)
+        n_samples = 40
+        inclusion = sampler.stripe_inclusion(
+            sampler.n_stripes(medium_graph.n_edges + 10), n_samples, key
+        )
+        delta_stripe = medium_graph.n_edges // sampler.stripe
+        hit = int(inclusion[:, delta_stripe].sum())
+        assert hit < n_samples // 2  # ≈ S·N of N members own the stripe
+
+
+class TestSamplingBehaviour:
+    def test_ratio_one_keeps_everything(self, medium_graph):
+        sampler = StableEdgeSampler(1.0, stripe=8)
+        assert sampler.sample(medium_graph, 0).n_edges == medium_graph.n_edges
+
+    def test_expected_fraction(self, medium_graph):
+        sampler = StableEdgeSampler(0.2, stripe=8)
+        samples = sampler.sample_many(medium_graph, 30, 11)
+        fraction = np.mean([s.n_edges / medium_graph.n_edges for s in samples])
+        assert 0.1 < fraction < 0.3
+
+    def test_labels_reference_parent(self, medium_graph):
+        sampler = StableEdgeSampler(0.5, stripe=8)
+        sub = sampler.sample(medium_graph, 1)
+        assert set(sub.user_labels.tolist()) <= set(medium_graph.user_labels.tolist())
+
+    def test_registry_knows_it(self):
+        assert isinstance(make_sampler("ses", 0.1), StableEdgeSampler)
+        assert isinstance(make_sampler("stable_edge", 0.1), StableEdgeSampler)
+
+    def test_invalid_stripe_rejected(self):
+        with pytest.raises(SamplingError):
+            StableEdgeSampler(0.1, stripe=0)
+
+    def test_invalid_n_samples_rejected(self, medium_graph):
+        with pytest.raises(SamplingError):
+            StableEdgeSampler(0.1).sample_many(medium_graph, 0, 1)

@@ -1,0 +1,32 @@
+"""Tier-1 hook for the peeling perf-regression guard.
+
+Runs ``benchmarks/check_regression.py --fast`` as a subprocess so that an
+accidental de-vectorisation of either peeling engine fails the regular test
+suite, not just the (rarely run) benchmark suite. Fast mode times only the
+smaller graph sizes, keeping the cost around a second; the threshold is
+slightly looser than the standalone default to absorb CI noise on the
+millisecond-scale cases.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GUARD = REPO_ROOT / "benchmarks" / "check_regression.py"
+
+
+def test_peeling_perf_guard_fast():
+    result = subprocess.run(
+        [sys.executable, str(GUARD), "--fast", "--threshold", "3.0"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"perf guard failed (rc={result.returncode})\n"
+        f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )
