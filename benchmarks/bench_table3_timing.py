@@ -1,9 +1,13 @@
-"""Bench: regenerate Table III (EnsemFDet vs Fraudar wall-clock).
+"""Bench: regenerate Table III (EnsemFDet vs Fraudar wall-clock + peak RSS).
 
 Paper shape asserted: on the largest dataset the parallel ensemble beats
 sequential Fraudar; both runtimes grow with dataset size. (The paper's 10x
 needs its 1/50-larger graphs — at bench scale the pool overhead eats part
 of the win; the ratio must still exceed 1 on the biggest dataset.)
+
+Each row also reports the process tree's high-water RSS (``peak_rss_mb``,
+monotonic across rows) so a memory regression in the detection stack shows
+up here even when wall-clock stays flat.
 
 The win comes from parallelising the ``N`` FDET runs, so it cannot
 materialise on a single-core host (the ensemble then pays sampling plus
@@ -30,6 +34,9 @@ def test_table3_timing(benchmark, scale, engine):
 
     # runtimes grow with dataset size for the sequential baseline
     assert rows["jd1"]["fraudar_sec"] < rows["jd3"]["fraudar_sec"]
+
+    # every row carries the memory column (monotonic high-water > 0)
+    assert all(row["peak_rss_mb"] > 0 for row in result.rows)
 
     # the ensemble wins on the largest dataset — but only parallel hardware
     # can deliver the win; on one core (or REPRO_WORKERS=1) just report it

@@ -64,6 +64,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         fdet=FdetConfig(max_blocks=args.max_blocks, engine=args.engine),
         executor=args.executor,
         seed=args.seed,
+        shared_memory=not args.no_shm,
     )
     result = EnsemFDet(config).fit(graph)
     threshold = _default_threshold(args.threshold, args.samples)
@@ -182,6 +183,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             fdet=FdetConfig(max_blocks=args.max_blocks, engine=args.engine),
             executor=args.executor,
             seed=args.seed,
+            shared_memory=not args.no_shm,
         )
         detector = IncrementalEnsemFDet(config)
         detector.fit(graph)
@@ -269,6 +271,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     detect.add_argument("--executor", choices=("serial", "thread", "process"), default="process")
     detect.add_argument("--seed", type=int, default=0)
+    detect.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="ship the graph store to process workers by pickle instead of "
+        "publishing one shared-memory segment",
+    )
     detect.set_defaults(func=_cmd_detect)
 
     watch = sub.add_parser(
@@ -287,6 +295,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     watch.add_argument("--executor", choices=("serial", "thread", "process"), default="process")
     watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="disable the shared-memory graph segment for process workers",
+    )
     watch.add_argument(
         "--interval", type=float, default=2.0, help="seconds between polls of the edge file"
     )

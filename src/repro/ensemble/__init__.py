@@ -8,7 +8,7 @@ from .results import (
     load_detection_state,
     save_detection_state,
 )
-from .runner import SampleDetection, detect_on_samples
+from .runner import SampleDetection, detect_on_plans, detect_on_samples
 from .soft_voting import SoftVoteTable, soft_threshold_sweep, soft_votes_from_detections
 from .voting import VoteTable, majority_vote, normalized_majority_vote
 
@@ -23,6 +23,7 @@ __all__ = [
     "save_detection_state",
     "load_detection_state",
     "SampleDetection",
+    "detect_on_plans",
     "detect_on_samples",
     "VoteTable",
     "majority_vote",

@@ -2,8 +2,15 @@
 
 Pipeline::
 
-    graph --(sampler × N)--> sampled graphs --(FDET, parallel)--> per-sample
-    detections --(majority vote, threshold T)--> U_final, V_final
+    graph --(sampler.plan × N)--> compact plans --(materialize + FDET,
+    parallel, shared-memory parent)--> per-sample detections
+    --(majority vote, threshold T)--> U_final, V_final
+
+The sampling stage is plan-only: the parent draws ``N`` compact
+:class:`~repro.sampling.SamplePlan` objects (consuming the RNG exactly as
+the historical eager sampler did) and the subgraphs are materialized inside
+the detection workers against a shared-memory view of the parent graph —
+see :func:`repro.ensemble.runner.detect_on_plans` for the memory model.
 
 The expensive middle stage is run once by :meth:`EnsemFDet.fit`; the returned
 :class:`EnsemFDetResult` holds the vote table so callers can evaluate *every*
@@ -23,7 +30,7 @@ from ..graph import BipartiteGraph
 from ..parallel import ExecutorMode, ReusablePool, Timer
 from ..sampling import RandomEdgeSampler, Sampler, resolve_rng
 from .results import DetectionResult
-from .runner import SampleDetection, detect_on_samples
+from .runner import SampleDetection, detect_on_plans
 from .voting import VoteTable, majority_vote
 
 __all__ = ["EnsemFDetConfig", "EnsemFDetResult", "EnsemFDet"]
@@ -51,6 +58,11 @@ class EnsemFDetConfig:
     track_appearances:
         Also record which nodes each sample contained, enabling the
         normalised-vote ablation (slightly more memory).
+    shared_memory:
+        For the process backend, publish the parent graph once through a
+        shared-memory :class:`~repro.graph.GraphStore` segment instead of
+        pickling graph bytes into every worker. Disable to force the
+        pickled-store fallback (debugging, exotic platforms).
     """
 
     sampler: Sampler = field(default_factory=lambda: RandomEdgeSampler(0.1))
@@ -60,6 +72,7 @@ class EnsemFDetConfig:
     n_workers: int | None = None
     seed: int | None = None
     track_appearances: bool = False
+    shared_memory: bool = True
 
     def __post_init__(self) -> None:
         if self.n_samples < 1:
@@ -143,21 +156,39 @@ class EnsemFDet:
         self.config = config or EnsemFDetConfig()
         self.pool = pool
 
-    def fit(self, graph: BipartiteGraph) -> EnsemFDetResult:
-        """Sample, detect in parallel, and tally votes on ``graph``."""
+    def fit(
+        self, graph: BipartiteGraph, track_members: bool | None = None
+    ) -> EnsemFDetResult:
+        """Plan, materialize + detect in parallel, and tally votes.
+
+        ``track_members`` forces recording each sample's node labels on the
+        returned detections; by default they are kept only when
+        ``track_appearances`` needs them (the incremental layer passes
+        ``True`` because its persistent state stores sample membership).
+        """
         config = self.config
         rng = resolve_rng(config.seed)
+        if track_members is None:
+            track_members = config.track_appearances
+        elif config.track_appearances and not track_members:
+            raise DetectionError(
+                "track_members=False contradicts track_appearances=True: "
+                "appearance counts need each sample's membership"
+            )
 
         with Timer() as sampling_timer:
-            samples = config.sampler.sample_many(graph, config.n_samples, rng)
+            plans = config.sampler.plan_many(graph, config.n_samples, rng)
 
         with Timer() as detection_timer:
-            detections = detect_on_samples(
-                samples,
+            detections = detect_on_plans(
+                graph,
+                plans,
                 config.fdet,
                 mode=config.executor,
                 n_workers=config.n_workers,
                 pool=self.pool,
+                track_members=track_members,
+                shared_memory=config.shared_memory,
             )
 
         table = VoteTable.from_detections(

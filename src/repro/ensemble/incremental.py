@@ -40,7 +40,7 @@ from .results import (
     load_detection_state,
     save_detection_state,
 )
-from .runner import SampleDetection, detect_on_samples
+from .runner import SampleDetection, detect_on_plans
 from .voting import VoteTable, majority_vote
 
 __all__ = ["IncrementalEnsemFDet", "UpdateReport"]
@@ -194,8 +194,13 @@ class IncrementalEnsemFDet:
             raise DetectionError("call fit() (or load()) before using the detector")
 
     def fit(self, graph: BipartiteGraph) -> EnsemFDetResult:
-        """Cold fit on ``graph``; initialises the warm state."""
-        result = EnsemFDet(self.config, pool=self.pool).fit(graph)
+        """Cold fit on ``graph``; initialises the warm state.
+
+        Member tracking is forced on: the persisted state records each
+        sample's node labels so appearance counts can be refreshed after
+        a restart.
+        """
+        result = EnsemFDet(self.config, pool=self.pool).fit(graph, track_members=True)
         self._graph = graph
         self._samples = [
             _SampleState.from_detection(detection) for detection in result.sample_detections
@@ -223,6 +228,12 @@ class IncrementalEnsemFDet:
         (unseen labels grow the partitions); ``weights`` is an optional
         parallel weight column. Returns an :class:`UpdateReport`; the
         refreshed detections are available through :meth:`detect`.
+
+        Because :class:`StableEdgeSampler` plans are prefix-stable, the
+        stale members' plans are just their stripe rows re-hashed on the
+        grown edge count — no subgraph is materialized parent-side. All
+        refreshed members share one columnar store of the grown graph
+        (one shared-memory export per update on the process backend).
         """
         self._require_fitted()
         config = self.config
@@ -243,20 +254,18 @@ class IncrementalEnsemFDet:
                 stale = np.nonzero(inclusion[:, delta_stripes].any(axis=1))[0]
             else:
                 stale = np.empty(0, dtype=np.int64)
-            subgraphs = [
-                new_graph.edge_subgraph(
-                    np.nonzero(sampler.expand_stripes(inclusion[index], new_graph.n_edges))[0]
-                )
-                for index in stale.tolist()
-            ]
+            plans = [sampler.stripe_plan(inclusion[index]) for index in stale.tolist()]
 
         with Timer() as detection_timer:
-            detections = detect_on_samples(
-                subgraphs,
+            detections = detect_on_plans(
+                new_graph,
+                plans,
                 config.fdet,
                 mode=config.executor,
                 n_workers=config.n_workers,
                 pool=self.pool,
+                track_members=True,
+                shared_memory=config.shared_memory,
             )
 
         table = self._table
@@ -321,6 +330,7 @@ class IncrementalEnsemFDet:
                 "executor": config.executor,
                 "n_workers": config.n_workers,
                 "track_appearances": config.track_appearances,
+                "shared_memory": config.shared_memory,
             },
             "sampler": {"ratio": sampler.ratio, "stripe": sampler.stripe},
             "fdet": {
@@ -357,6 +367,8 @@ class IncrementalEnsemFDet:
             n_workers=ensemble["n_workers"],
             seed=ensemble["seed"],
             track_appearances=ensemble["track_appearances"],
+            # absent in states saved before the zero-copy fan-out refactor
+            shared_memory=ensemble.get("shared_memory", True),
         )
 
     def state(self) -> DetectionState:

@@ -1,66 +1,228 @@
 """Parallel execution of FDET across sampled subgraphs (paper Fig. 2).
 
-The mapping ``sampled graph -> FdetResult`` is stateless, so it is exposed as
-module-level functions (picklable for the process backend) plus a thin
-driver that threads the executor configuration through.
+Two fan-out shapes live here:
 
-Process-backed runs submit the samples in **one chunk per worker**: the
-``FdetConfig`` rides along once per chunk instead of being re-pickled with
-every one of the ``N`` samples, and each worker unpickles it once. Pass a
-:class:`repro.parallel.ReusablePool` to amortise worker start-up across
-repeated fits as well.
+* :func:`detect_on_plans` — the **zero-copy** pipeline used by
+  :class:`~repro.ensemble.EnsemFDet`. The parent keeps the graph in one
+  frozen :class:`~repro.graph.GraphStore`; for the process backend the
+  store is exported to a shared-memory segment, workers attach **once per
+  process** (pool initializer for one-shot pools, a process-local cache
+  for :class:`~repro.parallel.ReusablePool` workers) and each compact
+  :class:`~repro.sampling.SamplePlan` is materialized worker-side through
+  the trusted constructor — zero graph bytes are pickled per ensemble
+  member, only the ~1%-sized plans. Serial and thread backends skip the
+  segment and materialize against the in-process graph directly.
+* :func:`detect_on_samples` — the historical eager shape, mapping already
+  materialized subgraphs. Kept for callers that hold real subgraphs (and
+  as the reference the plan pipeline is parity-tested against). Process
+  runs still chunk one submission per worker so the ``FdetConfig`` is
+  pickled once per chunk, but every subgraph crosses the boundary.
+
+Results come back in sample order regardless of backend, and
+``track_members=False`` skips recording each sample's node labels when no
+aggregator needs them (appearance-normalised voting and the incremental
+layer do; plain MVA does not).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Sequence
 
 from ..fdet import Fdet, FdetConfig, FdetResult
-from ..graph import BipartiteGraph
+from ..graph import BipartiteGraph, GraphStore, StoreLayout, attached_store
 from ..parallel import ExecutorMode, ReusablePool, default_workers, parallel_map
+from ..sampling import SamplePlan, materialize_plan
 
-__all__ = ["detect_on_samples", "SampleDetection"]
+__all__ = ["detect_on_samples", "detect_on_plans", "SampleDetection"]
 
 
 @dataclass(frozen=True)
 class SampleDetection:
-    """FDET output for one sampled subgraph, plus what the sample contained."""
+    """FDET output for one sampled subgraph, plus (optionally) its contents.
+
+    ``sample_users`` / ``sample_merchants`` are only populated when the
+    caller asked for member tracking — a fit at ``N=80`` would otherwise
+    keep every sampled label array alive in the result for nothing.
+    """
 
     result: FdetResult
-    sample_users: tuple[int, ...]
-    sample_merchants: tuple[int, ...]
+    sample_users: tuple[int, ...] | None = None
+    sample_merchants: tuple[int, ...] | None = None
 
 
-def _detection(fdet: Fdet, graph: BipartiteGraph) -> SampleDetection:
+def _detection(fdet: Fdet, graph: BipartiteGraph, track_members: bool) -> SampleDetection:
+    result = fdet.detect(graph)
+    if not track_members:
+        return SampleDetection(result=result)
     return SampleDetection(
-        result=fdet.detect(graph),
+        result=result,
         sample_users=tuple(graph.user_labels.tolist()),
         sample_merchants=tuple(graph.merchant_labels.tolist()),
     )
 
 
-def _detect_one(args: tuple[BipartiteGraph, FdetConfig]) -> SampleDetection:
-    graph, config = args
-    return _detection(Fdet(config), graph)
+def _detect_one(args: tuple[BipartiteGraph, FdetConfig, bool]) -> SampleDetection:
+    graph, config, track_members = args
+    return _detection(Fdet(config), graph, track_members)
 
 
-def _detect_chunk(args: tuple[FdetConfig, list[BipartiteGraph]]) -> list[SampleDetection]:
-    config, graphs = args
+def _detect_chunk(
+    args: tuple[FdetConfig, list[BipartiteGraph], bool]
+) -> list[SampleDetection]:
+    config, graphs, track_members = args
     fdet = Fdet(config)
-    return [_detection(fdet, graph) for graph in graphs]
+    return [_detection(fdet, graph, track_members) for graph in graphs]
 
 
-def _chunked(samples: list[BipartiteGraph], n_chunks: int) -> list[list[BipartiteGraph]]:
+def _resolve_parent(source: BipartiteGraph | GraphStore | StoreLayout) -> BipartiteGraph:
+    """The parent graph a worker materializes plans against.
+
+    A :class:`StoreLayout` resolves through the process-local attachment
+    cache (first touch maps the segment, later chunks and later fits on
+    the same segment are dictionary hits); a pickled :class:`GraphStore`
+    is the no-shared-memory fallback; a :class:`BipartiteGraph` arrives
+    only on in-process backends.
+    """
+    if isinstance(source, StoreLayout):
+        return attached_store(source).to_graph()
+    if isinstance(source, GraphStore):
+        return source.to_graph()
+    return source
+
+
+def _attach_worker(layout: StoreLayout) -> None:
+    """Pool initializer: map the shared segment once, at worker spawn."""
+    attached_store(layout)
+
+
+def _detect_one_plan(
+    args: tuple[BipartiteGraph, SamplePlan, FdetConfig, bool]
+) -> SampleDetection:
+    graph, plan, config, track_members = args
+    return _detection(Fdet(config), materialize_plan(graph, plan), track_members)
+
+
+def _detect_plan_chunk(
+    args: tuple[BipartiteGraph | GraphStore | StoreLayout, FdetConfig, list[SamplePlan], bool]
+) -> list[SampleDetection]:
+    source, config, plans, track_members = args
+    graph = _resolve_parent(source)
+    fdet = Fdet(config)
+    return [
+        _detection(fdet, materialize_plan(graph, plan), track_members) for plan in plans
+    ]
+
+
+def _chunked(items: list, n_chunks: int) -> list[list]:
     """Split into at most ``n_chunks`` contiguous, near-equal chunks."""
-    n_chunks = max(1, min(n_chunks, len(samples)))
-    base, extra = divmod(len(samples), n_chunks)
-    chunks: list[list[BipartiteGraph]] = []
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, extra = divmod(len(items), n_chunks)
+    chunks: list[list] = []
     start = 0
     for index in range(n_chunks):
         size = base + (1 if index < extra else 0)
-        chunks.append(samples[start : start + size])
+        chunks.append(items[start : start + size])
         start += size
     return chunks
+
+
+def _maybe_override_engine(config: FdetConfig, engine: str | None) -> FdetConfig:
+    if engine is not None and engine != config.engine:
+        return replace(config, engine=engine)
+    return config
+
+
+def detect_on_plans(
+    graph: BipartiteGraph,
+    plans: Sequence[SamplePlan],
+    config: FdetConfig,
+    mode: str = ExecutorMode.SERIAL,
+    n_workers: int | None = None,
+    engine: str | None = None,
+    pool: ReusablePool | None = None,
+    track_members: bool = True,
+    shared_memory: bool = True,
+) -> list[SampleDetection]:
+    """Materialize every plan against ``graph`` and run FDET on it.
+
+    Parameters
+    ----------
+    graph:
+        The parent graph all plans refer to.
+    plans:
+        Compact per-member sample plans (see :meth:`Sampler.plan_many`).
+    config:
+        FDET configuration applied to every member.
+    mode, n_workers:
+        Executor backend and pool size (see :func:`repro.parallel.parallel_map`).
+    engine:
+        Optional peeling-engine override applied on top of ``config.engine``.
+    pool:
+        Optional :class:`ReusablePool` of warm workers to run on.
+    track_members:
+        Record each sample's node labels on the detections (needed by
+        appearance-normalised voting and the incremental layer).
+    shared_memory:
+        For process backends, export the parent once to a shared segment
+        instead of pickling it into every worker. Falls back to shipping
+        the columnar store (pickled once per worker chunk) when the
+        platform refuses the segment.
+    """
+    config = _maybe_override_engine(config, engine)
+    plans = list(plans)
+    if not plans:
+        return []
+
+    process = mode == ExecutorMode.PROCESS or (
+        pool is not None and pool.mode == ExecutorMode.PROCESS
+    )
+    if not process:
+        return parallel_map(
+            _detect_one_plan,
+            [(graph, plan, config, track_members) for plan in plans],
+            mode=mode,
+            n_workers=n_workers,
+            pool=pool,
+        )
+
+    workers = pool.n_workers if pool is not None else (n_workers or default_workers(len(plans)))
+    if pool is None and (workers <= 1 or len(plans) == 1):
+        # the work stays in this process: no segment, no pickling at all
+        fdet = Fdet(config)
+        return [
+            _detection(fdet, materialize_plan(graph, plan), track_members)
+            for plan in plans
+        ]
+
+    store = GraphStore.from_graph(graph)
+    source: GraphStore | StoreLayout = store
+    shared = None
+    initializer = None
+    initargs: tuple = ()
+    if shared_memory:
+        try:
+            shared = store.export_shared()
+        except OSError:  # pragma: no cover - no usable /dev/shm on this host
+            shared = None
+        else:
+            source = shared.layout
+            initializer, initargs = _attach_worker, (shared.layout,)
+    try:
+        chunks = _chunked(plans, workers)
+        chunk_results = parallel_map(
+            _detect_plan_chunk,
+            [(source, config, chunk, track_members) for chunk in chunks],
+            mode=ExecutorMode.PROCESS,
+            n_workers=min(workers, len(chunks)),
+            pool=pool,
+            initializer=initializer,
+            initargs=initargs,
+        )
+    finally:
+        if shared is not None:
+            shared.dispose()
+    return [detection for chunk in chunk_results for detection in chunk]
 
 
 def detect_on_samples(
@@ -70,28 +232,16 @@ def detect_on_samples(
     n_workers: int | None = None,
     engine: str | None = None,
     pool: ReusablePool | None = None,
+    track_members: bool = True,
 ) -> list[SampleDetection]:
-    """Run FDET over every sampled subgraph, possibly in parallel.
+    """Run FDET over already-materialized subgraphs (the eager shape).
 
-    Results come back in sample order regardless of backend.
-
-    Parameters
-    ----------
-    samples:
-        The sampled subgraphs to detect on.
-    config:
-        FDET configuration applied to every sample.
-    mode, n_workers:
-        Executor backend and pool size (see :func:`repro.parallel.parallel_map`).
-    engine:
-        Optional peeling-engine override (``"reference"``/``"fast"``)
-        applied on top of ``config.engine``.
-    pool:
-        Optional :class:`ReusablePool` whose workers are reused instead of
-        starting a fresh pool for this call.
+    Prefer :func:`detect_on_plans` when the samples came from a
+    :class:`~repro.sampling.Sampler` — it ships ~1% of the bytes. This
+    entry point remains for callers holding real subgraphs and as the
+    reference semantics the plan pipeline is tested against.
     """
-    if engine is not None and engine != config.engine:
-        config = replace(config, engine=engine)
+    config = _maybe_override_engine(config, engine)
     if not samples:
         return []
 
@@ -101,7 +251,7 @@ def detect_on_samples(
     if not chunked:
         return parallel_map(
             _detect_one,
-            [(sample, config) for sample in samples],
+            [(sample, config, track_members) for sample in samples],
             mode=mode,
             n_workers=n_workers,
             pool=pool,
@@ -111,7 +261,7 @@ def detect_on_samples(
     chunks = _chunked(samples, workers)
     chunk_results = parallel_map(
         _detect_chunk,
-        [(config, chunk) for chunk in chunks],
+        [(config, chunk, track_members) for chunk in chunks],
         mode=mode,
         n_workers=min(workers, len(chunks)),
         pool=pool,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..baselines import FraudarDetector
 from ..fdet import PeelEngine
-from ..parallel import time_callable
+from ..parallel import peak_rss_bytes, time_callable
 from .base import Experiment, ExperimentResult, ScalePreset, resolve_scale
 from .common import dataset_for, fit_ensemble
 
@@ -62,6 +62,10 @@ class Table3Timing(Experiment):
                 if ensemble_timing.seconds > 0
                 else float("inf")
             )
+            # high-water RSS of this process tree so far: monotonic across
+            # rows (ru_maxrss never decreases), so memory regressions show
+            # up as a jump in the row that introduced them
+            peak_rss = max(peak_rss_bytes(), peak_rss_bytes(include_children=True))
             rows.append(
                 {
                     "dataset": dataset.name,
@@ -73,6 +77,7 @@ class Table3Timing(Experiment):
                         preset.sample_ratio * fraudar_timing.seconds, 3
                     ),
                     "paper_speedup": round(paper["fraudar"] / paper["ensemfdet"], 2),
+                    "peak_rss_mb": round(peak_rss / 1e6, 1),
                 }
             )
         return self._result(

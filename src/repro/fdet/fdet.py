@@ -212,6 +212,13 @@ class Fdet:
         single flattened adjacency built once for all ``max_blocks``
         iterations. Detections are identical to the rebuild-per-block
         formulation under both weight policies and both engines.
+
+        ``graph`` is accepted as a **trusted view**: detection never
+        re-validates and never writes into the graph's arrays, so graphs
+        materialized worker-side from a :class:`~repro.graph.GraphStore`
+        (whose columns are read-only shared-memory views) run unchanged —
+        every derived quantity (priorities, masks, residual views) is
+        allocated fresh. Enforced by the shm parity tests.
         """
         config = self.config
         metric = config.metric

@@ -15,11 +15,17 @@ from .io import (
     save_npz,
 )
 from .projections import co_purchase_counts, project_merchants, project_users
+from .store import GraphStore, SharedGraphStore, StoreLayout, attached_store, detach_all
 from .stats import GraphStats, degree_gini, degree_histogram, describe, edge_density
 from .validation import assert_subgraph_of, has_duplicate_edges, validate_graph
 
 __all__ = [
     "BipartiteGraph",
+    "GraphStore",
+    "SharedGraphStore",
+    "StoreLayout",
+    "attached_store",
+    "detach_all",
     "GraphBuilder",
     "BuiltGraph",
     "GraphAccumulator",

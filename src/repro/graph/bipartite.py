@@ -416,8 +416,28 @@ class BipartiteGraph:
             merchant_labels=self.merchant_labels,
         )
 
-    def with_weights(self, weights: Sequence[float] | np.ndarray | None) -> "BipartiteGraph":
-        """Copy of this graph with a different edge-weight array."""
+    def with_weights(
+        self,
+        weights: Sequence[float] | np.ndarray | None,
+        trusted: bool = False,
+    ) -> "BipartiteGraph":
+        """Copy of this graph with a different edge-weight array.
+
+        ``trusted=True`` skips re-validation when the caller guarantees
+        ``weights`` is already a float64 array of length ``n_edges`` (the
+        sample-plan materializer derives it from this graph's own weights,
+        so re-scanning every edge would be pure overhead).
+        """
+        if trusted:
+            return BipartiteGraph._from_trusted(
+                n_users=self.n_users,
+                n_merchants=self.n_merchants,
+                edge_users=self.edge_users,
+                edge_merchants=self.edge_merchants,
+                edge_weights=weights,
+                user_labels=self.user_labels,
+                merchant_labels=self.merchant_labels,
+            )
         return BipartiteGraph(
             n_users=self.n_users,
             n_merchants=self.n_merchants,

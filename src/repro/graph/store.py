@@ -1,0 +1,353 @@
+"""Frozen columnar graph store, exportable to POSIX shared memory.
+
+The ensemble fan-out needs the *parent* graph in every worker process, but
+pickling a :class:`~repro.graph.BipartiteGraph` per sampled subgraph is
+exactly the O(N·S·|E|) serialization wall the paper's "perfectly parallel"
+claim ignores. A :class:`GraphStore` is the flat-array alternative: the five
+columns of a graph (edge endpoints, optional weights, node labels) packed
+back to back in one buffer that can live in a
+:mod:`multiprocessing.shared_memory` segment. Workers attach to the segment
+**once per process**, wrap the buffer zero-copy as read-only numpy views,
+and materialize each compact :class:`~repro.sampling.SamplePlan` locally —
+no graph bytes cross the process boundary.
+
+Lifecycle contract
+------------------
+* the parent calls :meth:`GraphStore.export_shared` and owns the returned
+  :class:`SharedGraphStore`; its :meth:`~SharedGraphStore.dispose` (or
+  ``with`` exit, or the ``weakref.finalize`` backstop) unlinks the segment,
+* workers call :func:`attached_store` with the picklable
+  :class:`StoreLayout`; attachments are cached per process and the previous
+  segment's mapping is dropped whenever a new segment arrives, so a
+  long-lived :class:`~repro.parallel.ReusablePool` worker holds at most one
+  stale mapping,
+* unlinking in the parent removes the segment name immediately (Linux
+  keeps live mappings valid), so no ``/dev/shm`` entry outlives the fit.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import GraphError
+from .bipartite import BipartiteGraph
+
+__all__ = [
+    "GraphStore",
+    "SharedGraphStore",
+    "StoreLayout",
+    "attached_store",
+    "detach_all",
+]
+
+_INT = np.dtype(np.int64)
+_FLOAT = np.dtype(np.float64)
+
+
+@dataclass(frozen=True)
+class StoreLayout:
+    """Picklable descriptor of a shared graph segment (~100 bytes).
+
+    The five columns live at fixed, derivable offsets — ``edge_users``,
+    ``edge_merchants``, ``user_labels``, ``merchant_labels`` (all int64),
+    then ``edge_weights`` (float64) when ``weighted`` — so the layout only
+    needs the partition sizes, not per-array bookkeeping.
+    """
+
+    segment: str
+    n_users: int
+    n_merchants: int
+    n_edges: int
+    weighted: bool
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size of the segment in bytes."""
+        total = _INT.itemsize * (2 * self.n_edges + self.n_users + self.n_merchants)
+        if self.weighted:
+            total += _FLOAT.itemsize * self.n_edges
+        return total
+
+    def slots(self) -> list[tuple[str, int, np.dtype, int]]:
+        """``(column, offset, dtype, length)`` for every stored column."""
+        columns = [
+            ("edge_users", self.n_edges, _INT),
+            ("edge_merchants", self.n_edges, _INT),
+            ("user_labels", self.n_users, _INT),
+            ("merchant_labels", self.n_merchants, _INT),
+        ]
+        if self.weighted:
+            columns.append(("edge_weights", self.n_edges, _FLOAT))
+        out = []
+        offset = 0
+        for name, length, dtype in columns:
+            out.append((name, offset, dtype, length))
+            offset += dtype.itemsize * length
+        return out
+
+
+class GraphStore:
+    """The frozen columnar form of one bipartite graph.
+
+    Wraps the parent graph's arrays **zero-copy** (:meth:`from_graph`) or a
+    shared segment's buffer (:meth:`attach`); :meth:`to_graph` goes back to
+    a :class:`BipartiteGraph` through the trusted constructor, again without
+    copying, so a store round-trip costs O(1).
+    """
+
+    __slots__ = (
+        "n_users",
+        "n_merchants",
+        "edge_users",
+        "edge_merchants",
+        "edge_weights",
+        "user_labels",
+        "merchant_labels",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        n_users: int,
+        n_merchants: int,
+        edge_users: np.ndarray,
+        edge_merchants: np.ndarray,
+        edge_weights: np.ndarray | None,
+        user_labels: np.ndarray,
+        merchant_labels: np.ndarray,
+    ) -> None:
+        self.n_users = int(n_users)
+        self.n_merchants = int(n_merchants)
+        self.edge_users = edge_users
+        self.edge_merchants = edge_merchants
+        self.edge_weights = edge_weights
+        self.user_labels = user_labels
+        self.merchant_labels = merchant_labels
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: BipartiteGraph) -> "GraphStore":
+        """Wrap ``graph``'s columns without copying."""
+        return cls(
+            n_users=graph.n_users,
+            n_merchants=graph.n_merchants,
+            edge_users=graph.edge_users,
+            edge_merchants=graph.edge_merchants,
+            edge_weights=graph.edge_weights,
+            user_labels=graph.user_labels,
+            merchant_labels=graph.merchant_labels,
+        )
+
+    def to_graph(self) -> BipartiteGraph:
+        """A :class:`BipartiteGraph` view over the stored columns.
+
+        Uses the trusted constructor — the columns came from an already
+        validated graph (or a segment exported from one), so the O(|E|)
+        bounds scan is skipped.
+        """
+        return BipartiteGraph._from_trusted(
+            n_users=self.n_users,
+            n_merchants=self.n_merchants,
+            edge_users=self.edge_users,
+            edge_merchants=self.edge_merchants,
+            edge_weights=self.edge_weights,
+            user_labels=self.user_labels,
+            merchant_labels=self.merchant_labels,
+        )
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return int(self.edge_users.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the stored columns in bytes."""
+        total = self.edge_users.nbytes + self.edge_merchants.nbytes
+        total += self.user_labels.nbytes + self.merchant_labels.nbytes
+        if self.edge_weights is not None:
+            total += self.edge_weights.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # shared-memory export / attach
+    # ------------------------------------------------------------------
+
+    def export_shared(self) -> "SharedGraphStore":
+        """Copy the columns into one fresh shared-memory segment.
+
+        The returned handle owns the segment; dispose it (explicitly or via
+        ``with``) once the fan-out that uses it has completed.
+        """
+        layout = StoreLayout(
+            segment=f"repro_gs_{os.getpid():x}_{secrets.token_hex(6)}",
+            n_users=self.n_users,
+            n_merchants=self.n_merchants,
+            n_edges=self.n_edges,
+            weighted=self.edge_weights is not None,
+        )
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, layout.nbytes), name=layout.segment
+        )
+        try:
+            for name, offset, dtype, length in layout.slots():
+                view = np.ndarray(length, dtype=dtype, buffer=shm.buf, offset=offset)
+                view[:] = getattr(self, name)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return SharedGraphStore(layout, shm)
+
+    @classmethod
+    def attach(
+        cls, layout: StoreLayout
+    ) -> tuple["GraphStore", shared_memory.SharedMemory]:
+        """Worker-side attach: read-only views over an existing segment.
+
+        Returns the store plus the mapping that must be kept alive (and
+        eventually closed) alongside it. Prefer :func:`attached_store`,
+        which caches per process.
+        """
+        try:
+            shm = _attach_untracked(layout.segment)
+        except FileNotFoundError as exc:
+            raise GraphError(
+                f"shared graph segment {layout.segment!r} does not exist "
+                "(already disposed by the parent?)"
+            ) from exc
+        columns: dict[str, np.ndarray] = {}
+        for name, offset, dtype, length in layout.slots():
+            view = np.ndarray(length, dtype=dtype, buffer=shm.buf, offset=offset)
+            view.flags.writeable = False
+            columns[name] = view
+        return (
+            cls(
+                n_users=layout.n_users,
+                n_merchants=layout.n_merchants,
+                edge_users=columns["edge_users"],
+                edge_merchants=columns["edge_merchants"],
+                edge_weights=columns.get("edge_weights"),
+                user_labels=columns["user_labels"],
+                merchant_labels=columns["merchant_labels"],
+            ),
+            shm,
+        )
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without registering with the resource tracker.
+
+    Only the creator (parent) process owns the segment's lifetime. Until
+    Python 3.13's ``track=False``, attaching also registers the name with
+    the shared resource-tracker daemon — whose per-type cache is a *set*,
+    so the duplicate entry collapses with the parent's and the eventual
+    double-unregister raises inside the tracker. Suppressing registration
+    for the attach call sidesteps both that and the bogus
+    "leaked shared_memory" warnings at worker exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - exotic platform
+        return shared_memory.SharedMemory(name=name)
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedGraphStore:
+    """Parent-side handle of one exported segment (owns its lifetime).
+
+    ``dispose()`` closes the mapping and unlinks the name; it is idempotent
+    and also wired as a ``weakref.finalize`` backstop, so dropping the last
+    reference can never leak a ``/dev/shm`` entry.
+    """
+
+    def __init__(self, layout: StoreLayout, shm: shared_memory.SharedMemory) -> None:
+        self.layout = layout
+        self._shm: shared_memory.SharedMemory | None = shm
+        self._finalizer = weakref.finalize(self, _dispose_segment, shm)
+
+    @property
+    def disposed(self) -> bool:
+        """``True`` once the segment has been unlinked."""
+        return self._shm is None
+
+    def dispose(self) -> None:
+        """Close the parent's mapping and unlink the segment (idempotent)."""
+        if self._shm is not None:
+            self._shm = None
+            self._finalizer()
+
+    def __enter__(self) -> "SharedGraphStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.dispose()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "disposed" if self.disposed else f"{self.layout.nbytes} bytes"
+        return f"SharedGraphStore({self.layout.segment}, {state})"
+
+
+def _dispose_segment(shm: shared_memory.SharedMemory) -> None:
+    # unlink before close: removing the name can never fail on live views,
+    # whereas mmap.close() raises BufferError while numpy views are exported
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a view outlived the handle
+        pass
+
+
+# ------------------------------------------------------------------
+# worker-side attachment cache (one live segment per process)
+# ------------------------------------------------------------------
+
+_ATTACHED: dict[str, tuple[GraphStore, shared_memory.SharedMemory]] = {}
+
+
+def attached_store(layout: StoreLayout) -> GraphStore:
+    """The process-local :class:`GraphStore` for ``layout``, attached once.
+
+    The first call in a worker maps the segment; subsequent calls for the
+    same segment (later chunks of the same fit, later fits on the same
+    store) are dictionary hits. Attaching a *different* segment drops the
+    previous mapping first — fits are sequential, so a worker never needs
+    two parents at once and stale mappings would otherwise accumulate in a
+    long-lived pool.
+    """
+    cached = _ATTACHED.get(layout.segment)
+    if cached is not None:
+        return cached[0]
+    detach_all()
+    store, shm = GraphStore.attach(layout)
+    _ATTACHED[layout.segment] = (store, shm)
+    return store
+
+
+def detach_all() -> None:
+    """Close every cached attachment (worker shutdown / test hygiene)."""
+    while _ATTACHED:
+        _, entry = _ATTACHED.popitem()
+        shm = entry[1]
+        del entry  # drop the store (and its buffer views) before closing
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a materialized view lingers
+            pass

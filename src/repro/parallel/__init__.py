@@ -1,7 +1,7 @@
 """Parallel-execution substrate for the ensemble stage."""
 
 from .executor import ExecutorMode, ReusablePool, default_workers, parallel_map
-from .timing import Timer, Timing, time_callable
+from .timing import Timer, Timing, peak_rss_bytes, time_callable
 
 __all__ = [
     "ExecutorMode",
@@ -11,4 +11,5 @@ __all__ = [
     "Timer",
     "Timing",
     "time_callable",
+    "peak_rss_bytes",
 ]

@@ -16,6 +16,11 @@ For repeated fan-outs, :class:`ReusablePool` keeps one pool of workers
 alive across ``parallel_map`` calls so each ensemble fit stops paying
 process start-up costs.
 
+Both the one-shot process path and :class:`ReusablePool` accept an
+``initializer`` run once per worker process at spawn — the shared-memory
+fan-out uses it to attach workers to the parent graph's segment exactly
+once instead of per task (see :func:`repro.graph.attached_store`).
+
 All backends preserve input order and propagate the first worker exception.
 Worker counts honour the ``REPRO_WORKERS`` environment variable so CI and
 benchmarks can pin parallelism deterministically.
@@ -86,24 +91,43 @@ class ReusablePool:
     >>> with ReusablePool(ExecutorMode.THREAD, n_workers=2) as pool:
     ...     pool.map(abs, [-1, -2])
     [1, 2]
+
+    ``initializer``/``initargs`` run once in every worker when the pool
+    spawns (both backends). The pool must be told *at construction*, since
+    workers outlive any single ``map`` call.
     """
 
-    def __init__(self, mode: str = ExecutorMode.PROCESS, n_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        mode: str = ExecutorMode.PROCESS,
+        n_workers: int | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
         if mode not in (ExecutorMode.THREAD, ExecutorMode.PROCESS):
             raise ReproError(
                 f"ReusablePool mode must be 'thread' or 'process', got {mode!r}"
             )
         self.mode = mode
         self.n_workers = n_workers or default_workers()
+        self.initializer = initializer
+        self.initargs = initargs
         self._executor: Executor | None = None
 
     def _ensure(self) -> Executor:
         if self._executor is None:
             if self.mode == ExecutorMode.THREAD:
-                self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    initializer=self.initializer,
+                    initargs=self.initargs,
+                )
             else:
                 self._executor = ProcessPoolExecutor(
-                    max_workers=self.n_workers, mp_context=_process_context()
+                    max_workers=self.n_workers,
+                    mp_context=_process_context(),
+                    initializer=self.initializer,
+                    initargs=self.initargs,
                 )
         return self._executor
 
@@ -133,6 +157,8 @@ def parallel_map(
     mode: str = ExecutorMode.SERIAL,
     n_workers: int | None = None,
     pool: ReusablePool | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> list[R]:
     """Apply ``func`` to every item, preserving order.
 
@@ -150,6 +176,10 @@ def parallel_map(
     pool:
         An existing :class:`ReusablePool` to run on (kept alive afterwards)
         instead of spinning up and tearing down a fresh pool.
+    initializer, initargs:
+        Run once per spawned worker when this call creates its own pool
+        (ignored for serial fallbacks and for an externally-owned ``pool``,
+        whose workers already exist).
     """
     work = list(items)
     if mode not in ExecutorMode.ALL:
@@ -166,8 +196,15 @@ def parallel_map(
         return [func(item) for item in work]
 
     if mode == ExecutorMode.THREAD:
-        with ThreadPoolExecutor(max_workers=workers) as executor:
+        with ThreadPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as executor:
             return list(executor.map(func, work))
 
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_process_context()) as executor:
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_process_context(),
+        initializer=initializer,
+        initargs=initargs,
+    ) as executor:
         return list(executor.map(func, work))

@@ -1,4 +1,5 @@
-"""Wall-clock timing helpers for the Table-III style speedup measurements."""
+"""Wall-clock timing (and peak-memory) helpers for the Table-III style
+speedup measurements and the memory-aware benchmarks."""
 
 from __future__ import annotations
 
@@ -6,7 +7,28 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, TypeVar
 
-__all__ = ["Timer", "Timing", "time_callable"]
+__all__ = ["Timer", "Timing", "time_callable", "peak_rss_bytes"]
+
+
+def peak_rss_bytes(include_children: bool = False) -> int:
+    """High-water resident-set size of this process, in bytes.
+
+    Reads ``getrusage`` (``ru_maxrss`` is KiB on Linux, bytes on macOS);
+    returns 0 on platforms without :mod:`resource`. The counter is
+    monotonic for the process lifetime — benchmarks that want a
+    per-scenario peak run each scenario in a fresh subprocess.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    import sys
+
+    usage = resource.getrusage(
+        resource.RUSAGE_CHILDREN if include_children else resource.RUSAGE_SELF
+    )
+    scale = 1 if sys.platform == "darwin" else 1024
+    return int(usage.ru_maxrss) * scale
 
 R = TypeVar("R")
 

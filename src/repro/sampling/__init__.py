@@ -1,6 +1,6 @@
 """Structural sampling methods for bipartite graphs (paper §IV-A)."""
 
-from .base import Sampler, check_ratio, resolve_rng
+from .base import SamplePlan, Sampler, check_ratio, materialize_plan, resolve_rng
 from .one_side import OneSideNodeSampler, Side, recommend_side
 from .random_edge import RandomEdgeSampler
 from .registry import PAPER_FIG5_NAMES, available_samplers, make_sampler
@@ -16,7 +16,9 @@ from .two_side import TwoSideNodeSampler
 
 __all__ = [
     "Sampler",
+    "SamplePlan",
     "check_ratio",
+    "materialize_plan",
     "resolve_rng",
     "RandomEdgeSampler",
     "StableEdgeSampler",

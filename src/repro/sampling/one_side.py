@@ -17,7 +17,7 @@ import numpy as np
 
 from ..errors import SamplingError
 from ..graph import BipartiteGraph
-from .base import Sampler, resolve_rng
+from .base import SamplePlan, Sampler, compact_indices, resolve_rng
 
 __all__ = ["OneSideNodeSampler", "Side", "recommend_side"]
 
@@ -66,9 +66,9 @@ class OneSideNodeSampler(Sampler):
         self.keep_isolated = bool(keep_isolated)
         self.name = f"ons_{side}"
 
-    def sample(
+    def plan(
         self, graph: BipartiteGraph, rng: np.random.Generator | int | None = None
-    ) -> BipartiteGraph:
+    ) -> SamplePlan:
         generator = resolve_rng(rng)
         if self.side == Side.USER:
             population = graph.n_users
@@ -76,8 +76,10 @@ class OneSideNodeSampler(Sampler):
             population = graph.n_merchants
         n_pick = min(int(np.ceil(self.ratio * population)), population)
         if n_pick == 0:
-            return graph.edge_subgraph(np.empty(0, dtype=np.int64))
-        chosen = generator.choice(population, size=n_pick, replace=False)
+            return SamplePlan(kind="edges", edge_indices=np.empty(0, dtype=np.int64))
+        chosen = compact_indices(
+            generator.choice(population, size=n_pick, replace=False), population
+        )
         if self.side == Side.USER:
-            return graph.induced_subgraph(users=chosen, keep_isolated=self.keep_isolated)
-        return graph.induced_subgraph(merchants=chosen, keep_isolated=self.keep_isolated)
+            return SamplePlan(kind="nodes", users=chosen, keep_isolated=self.keep_isolated)
+        return SamplePlan(kind="nodes", merchants=chosen, keep_isolated=self.keep_isolated)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import BipartiteGraph
-from .base import Sampler, resolve_rng
+from .base import SamplePlan, Sampler, compact_indices, resolve_rng
 
 __all__ = ["RandomEdgeSampler"]
 
@@ -35,17 +35,18 @@ class RandomEdgeSampler(Sampler):
         super().__init__(ratio)
         self.reweight = bool(reweight)
 
-    def sample(
+    def plan(
         self, graph: BipartiteGraph, rng: np.random.Generator | int | None = None
-    ) -> BipartiteGraph:
+    ) -> SamplePlan:
         generator = resolve_rng(rng)
         n_pick = int(np.ceil(self.ratio * graph.n_edges))
         n_pick = min(n_pick, graph.n_edges)
+        scale = 1.0 / self.ratio if self.reweight else None
         if n_pick == 0:
-            return graph.edge_subgraph(np.empty(0, dtype=np.int64))
+            return SamplePlan(kind="edges", edge_indices=np.empty(0, dtype=np.int64))
         chosen = generator.choice(graph.n_edges, size=n_pick, replace=False)
-        subgraph = graph.edge_subgraph(chosen)
-        if self.reweight:
-            scale = 1.0 / self.ratio
-            subgraph = subgraph.with_weights(subgraph.weights_or_ones() * scale)
-        return subgraph
+        return SamplePlan(
+            kind="edges",
+            edge_indices=compact_indices(chosen, graph.n_edges),
+            weight_scale=scale,
+        )

@@ -43,7 +43,7 @@ import numpy as np
 
 from ..errors import SamplingError
 from ..graph import BipartiteGraph
-from .base import Sampler, resolve_rng
+from .base import SamplePlan, Sampler, resolve_rng
 
 __all__ = ["StableEdgeSampler"]
 
@@ -144,37 +144,45 @@ class StableEdgeSampler(Sampler):
     def _subgraph(self, graph: BipartiteGraph, mask: np.ndarray) -> BipartiteGraph:
         return graph.edge_subgraph(np.nonzero(mask)[0])
 
+    def stripe_plan(self, stripe_row: np.ndarray) -> SamplePlan:
+        """Wrap one member's stripe-inclusion row as a :class:`SamplePlan`.
+
+        The row is the natural *native* plan of this sampler: |E|/stripe
+        booleans that identify the member's edge set on any prefix-extended
+        graph, which is what lets the incremental layer ship plans for a
+        grown graph without recomputing them from scratch.
+        """
+        return SamplePlan(kind="stripes", stripe_row=stripe_row, stripe=self.stripe)
+
     # ------------------------------------------------------------------
     # Sampler interface
     # ------------------------------------------------------------------
 
-    def sample(
+    def plan(
         self, graph: BipartiteGraph, rng: np.random.Generator | int | None = None
-    ) -> BipartiteGraph:
-        """Draw one sampled subgraph (ensemble member 0 of the derived key)."""
+    ) -> SamplePlan:
+        """Plan one sampled subgraph (ensemble member 0 of the derived key)."""
         key = self.derive_key(rng)
-        return self._subgraph(graph, self.edge_mask(graph.n_edges, key, 0))
+        return self.stripe_plan(self.stripe_row(self.n_stripes(graph.n_edges), 0, key))
 
-    def sample_many(
+    def plan_many(
         self,
         graph: BipartiteGraph,
         n_samples: int,
         rng: np.random.Generator | int | None = None,
-    ) -> list[BipartiteGraph]:
-        """Draw all ``N`` members from one key (overrides the base loop).
+    ) -> list[SamplePlan]:
+        """Plan all ``N`` members from one key (overrides the base loop).
 
         The stripe-inclusion matrix is hashed once for all members; each
-        member's subgraph keeps the parent's edge order, which is what the
-        incremental layer relies on when it rebuilds a single member.
+        member's materialized subgraph keeps the parent's edge order, which
+        is what the incremental layer relies on when it rebuilds a single
+        member.
         """
         if n_samples < 1:
             raise SamplingError(f"n_samples must be >= 1, got {n_samples}")
         key = self.derive_key(rng)
         inclusion = self.stripe_inclusion(self.n_stripes(graph.n_edges), n_samples, key)
-        return [
-            self._subgraph(graph, self.expand_stripes(inclusion[index], graph.n_edges))
-            for index in range(n_samples)
-        ]
+        return [self.stripe_plan(inclusion[index]) for index in range(n_samples)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StableEdgeSampler(ratio={self.ratio}, stripe={self.stripe})"

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import BipartiteGraph
-from .base import Sampler, check_ratio, resolve_rng
+from .base import SamplePlan, Sampler, check_ratio, compact_indices, resolve_rng
 
 __all__ = ["TwoSideNodeSampler"]
 
@@ -48,18 +48,21 @@ class TwoSideNodeSampler(Sampler):
         """Expected fraction of original edges surviving: ``S_u · S_v``."""
         return self.ratio * self.merchant_ratio
 
-    def sample(
+    def plan(
         self, graph: BipartiteGraph, rng: np.random.Generator | int | None = None
-    ) -> BipartiteGraph:
+    ) -> SamplePlan:
         generator = resolve_rng(rng)
         n_users = min(int(np.ceil(self.ratio * graph.n_users)), graph.n_users)
         n_merchants = min(
             int(np.ceil(self.merchant_ratio * graph.n_merchants)), graph.n_merchants
         )
         if n_users == 0 or n_merchants == 0:
-            return graph.edge_subgraph(np.empty(0, dtype=np.int64))
+            return SamplePlan(kind="edges", edge_indices=np.empty(0, dtype=np.int64))
         users = generator.choice(graph.n_users, size=n_users, replace=False)
         merchants = generator.choice(graph.n_merchants, size=n_merchants, replace=False)
-        return graph.induced_subgraph(
-            users=users, merchants=merchants, keep_isolated=self.keep_isolated
+        return SamplePlan(
+            kind="nodes",
+            users=compact_indices(users, graph.n_users),
+            merchants=compact_indices(merchants, graph.n_merchants),
+            keep_isolated=self.keep_isolated,
         )

@@ -103,6 +103,25 @@ class TestFit:
         for label, votes in result.vote_table.user_votes.items():
             assert votes <= result.vote_table.user_appearances[label]
 
+    def test_memberships_not_kept_by_default(self, toy):
+        """With track_appearances=False nothing reads the sampled label
+        arrays, so the fit must not keep them alive in its result."""
+        result = EnsemFDet(small_config()).fit(toy.graph)
+        for detection in result.sample_detections:
+            assert detection.sample_users is None
+            assert detection.sample_merchants is None
+
+    def test_memberships_kept_when_appearances_tracked(self, toy):
+        result = EnsemFDet(small_config(track_appearances=True)).fit(toy.graph)
+        for detection in result.sample_detections:
+            assert detection.sample_users is not None
+            assert detection.sample_merchants is not None
+
+    def test_contradictory_member_tracking_rejected(self, toy):
+        detector = EnsemFDet(small_config(track_appearances=True))
+        with pytest.raises(DetectionError, match="track_members"):
+            detector.fit(toy.graph, track_members=False)
+
     def test_timings_populated(self, toy):
         result = EnsemFDet(small_config()).fit(toy.graph)
         assert result.sampling_seconds >= 0

@@ -1,0 +1,245 @@
+"""Bitwise parity of the plan/shared-memory fan-out vs the eager pipeline.
+
+The zero-copy refactor's contract: for every sampler and every executor
+backend, ``EnsemFDet.fit`` driven by ``plan_many`` + worker-side
+materialization produces **exactly** the subgraphs, per-sample detections
+and vote table the historical eager ``sample_many`` pipeline produced —
+same RNG consumption, deterministic materialization, byte-for-byte arrays.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.ensemble import (
+    EnsemFDet,
+    EnsemFDetConfig,
+    detect_on_plans,
+    detect_on_samples,
+)
+from repro.ensemble.voting import VoteTable
+from repro.fdet import Fdet, FdetConfig
+from repro.graph import BipartiteGraph, GraphStore, attached_store, detach_all
+from repro.parallel import ExecutorMode, ReusablePool
+from repro.sampling import (
+    OneSideNodeSampler,
+    RandomEdgeSampler,
+    Side,
+    StableEdgeSampler,
+    TwoSideNodeSampler,
+    materialize_plan,
+    resolve_rng,
+)
+
+#: all five sampling variants the registry exposes (plus the reweighted RES)
+SAMPLER_FACTORIES = {
+    "res": lambda: RandomEdgeSampler(0.35),
+    "res_reweight": lambda: RandomEdgeSampler(0.35, reweight=True),
+    "ons_user": lambda: OneSideNodeSampler(0.4, Side.USER),
+    "ons_merchant": lambda: OneSideNodeSampler(0.4, Side.MERCHANT),
+    "tns": lambda: TwoSideNodeSampler(0.6),
+    "ses": lambda: StableEdgeSampler(0.35, stripe=32),
+}
+
+BACKENDS = (ExecutorMode.SERIAL, ExecutorMode.THREAD, ExecutorMode.PROCESS)
+
+
+@pytest.fixture(scope="module")
+def parent() -> BipartiteGraph:
+    """A deterministic weighted graph with a dense corner (~2.5k edges)."""
+    rng = np.random.default_rng(7)
+    users = rng.integers(0, 300, size=2200)
+    merchants = rng.integers(0, 80, size=2200)
+    block = [(u, m) for u in range(280, 300) for m in range(70, 80)]
+    edge_users = np.concatenate([users, np.array([u for u, _ in block])])
+    edge_merchants = np.concatenate([merchants, np.array([m for _, m in block])])
+    weights = rng.uniform(0.5, 2.0, size=edge_users.size)
+    return BipartiteGraph(300, 80, edge_users, edge_merchants, edge_weights=weights)
+
+
+def assert_graphs_bitwise_equal(a: BipartiteGraph, b: BipartiteGraph) -> None:
+    assert (a.n_users, a.n_merchants) == (b.n_users, b.n_merchants)
+    assert np.array_equal(a.edge_users, b.edge_users)
+    assert np.array_equal(a.edge_merchants, b.edge_merchants)
+    assert (a.edge_weights is None) == (b.edge_weights is None)
+    if a.edge_weights is not None:
+        # bitwise, not approximate: materialization must not re-derive weights
+        assert np.array_equal(a.edge_weights, b.edge_weights)
+    assert np.array_equal(a.user_labels, b.user_labels)
+    assert np.array_equal(a.merchant_labels, b.merchant_labels)
+
+
+def assert_detections_bitwise_equal(plan_based, eager) -> None:
+    assert len(plan_based) == len(eager)
+    for p, e in zip(plan_based, eager):
+        assert p.result.k_hat == e.result.k_hat
+        assert np.array_equal(p.result.densities, e.result.densities)
+        assert np.array_equal(p.result.detected_users(), e.result.detected_users())
+        assert np.array_equal(
+            p.result.detected_merchants(), e.result.detected_merchants()
+        )
+
+
+def eager_reference_fit(parent, config):
+    """The historical pipeline: materialize everything, then detect."""
+    rng = resolve_rng(config.seed)
+    samples = config.sampler.sample_many(parent, config.n_samples, rng)
+    detections = detect_on_samples(samples, config.fdet, mode=ExecutorMode.SERIAL)
+    table = VoteTable.from_detections(
+        [d.result.detected_users().tolist() for d in detections],
+        [d.result.detected_merchants().tolist() for d in detections],
+    )
+    return table, detections
+
+
+def leaked_segments() -> list[str]:
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return [name for name in os.listdir("/dev/shm") if name.startswith("repro_gs_")]
+
+
+class TestPlanMaterializeParity:
+    """``materialize(plan(...))`` reproduces the eager sample bit for bit."""
+
+    @pytest.mark.parametrize("name", sorted(SAMPLER_FACTORIES))
+    def test_sample_stream_identical(self, parent, name):
+        sampler = SAMPLER_FACTORIES[name]()
+        eager = sampler.sample_many(parent, 6, rng=11)
+        plans = sampler.plan_many(parent, 6, rng=11)
+        assert len(plans) == 6
+        for subgraph, plan in zip(eager, plans):
+            assert_graphs_bitwise_equal(subgraph, materialize_plan(parent, plan))
+
+    @pytest.mark.parametrize("name", sorted(SAMPLER_FACTORIES))
+    def test_single_sample_identical(self, parent, name):
+        sampler = SAMPLER_FACTORIES[name]()
+        eager = sampler.sample(parent, rng=5)
+        again = materialize_plan(parent, sampler.plan(parent, rng=5))
+        assert_graphs_bitwise_equal(eager, again)
+
+    @pytest.mark.parametrize("name", sorted(SAMPLER_FACTORIES))
+    def test_plans_are_compact(self, parent, name):
+        """A plan ships far fewer bytes than the subgraph it describes."""
+        sampler = SAMPLER_FACTORIES[name]()
+        plan = sampler.plan(parent, rng=3)
+        subgraph = materialize_plan(parent, plan)
+        subgraph_bytes = GraphStore.from_graph(subgraph).nbytes
+        if subgraph_bytes:
+            assert plan.nbytes < subgraph_bytes
+
+    def test_plan_materializes_against_shm_view(self, parent):
+        """Materializing against a read-only shared view is still bitwise."""
+        sampler = RandomEdgeSampler(0.35)
+        plans = sampler.plan_many(parent, 3, rng=2)
+        eager = sampler.sample_many(parent, 3, rng=2)
+        shared = GraphStore.from_graph(parent).export_shared()
+        try:
+            view = attached_store(shared.layout).to_graph()
+            assert not view.edge_users.flags.writeable
+            for subgraph, plan in zip(eager, plans):
+                assert_graphs_bitwise_equal(subgraph, materialize_plan(view, plan))
+        finally:
+            detach_all()
+            shared.dispose()
+        assert leaked_segments() == []
+
+
+class TestFitParity:
+    """The plan-based fit equals the eager reference on every backend."""
+
+    @pytest.mark.parametrize("name", sorted(SAMPLER_FACTORIES))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fit_matches_eager_reference(self, parent, name, backend):
+        config = EnsemFDetConfig(
+            sampler=SAMPLER_FACTORIES[name](),
+            n_samples=6,
+            fdet=FdetConfig(max_blocks=4),
+            executor=backend,
+            n_workers=2,
+            seed=13,
+        )
+        reference_table, reference_detections = eager_reference_fit(parent, config)
+        result = EnsemFDet(config).fit(parent)
+        assert result.vote_table.user_votes == reference_table.user_votes
+        assert result.vote_table.merchant_votes == reference_table.merchant_votes
+        assert_detections_bitwise_equal(
+            list(result.sample_detections), reference_detections
+        )
+        assert leaked_segments() == []
+
+    def test_shm_and_pickled_store_agree(self, parent):
+        config = FdetConfig(max_blocks=4)
+        sampler = RandomEdgeSampler(0.35)
+        plans = sampler.plan_many(parent, 6, rng=4)
+        with_shm = detect_on_plans(
+            parent, plans, config, mode=ExecutorMode.PROCESS, n_workers=2,
+            shared_memory=True,
+        )
+        without_shm = detect_on_plans(
+            parent, plans, config, mode=ExecutorMode.PROCESS, n_workers=2,
+            shared_memory=False,
+        )
+        assert_detections_bitwise_equal(with_shm, without_shm)
+        assert leaked_segments() == []
+
+    def test_fit_on_reusable_pool_matches(self, parent):
+        config = EnsemFDetConfig(
+            sampler=StableEdgeSampler(0.35, stripe=32),
+            n_samples=6,
+            fdet=FdetConfig(max_blocks=4),
+            executor=ExecutorMode.PROCESS,
+            seed=13,
+        )
+        reference_table, _ = eager_reference_fit(parent, config)
+        with ReusablePool(ExecutorMode.PROCESS, n_workers=2) as pool:
+            first = EnsemFDet(config, pool=pool).fit(parent)
+            second = EnsemFDet(config, pool=pool).fit(parent)
+        assert first.vote_table.user_votes == reference_table.user_votes
+        assert second.vote_table.user_votes == reference_table.user_votes
+        assert leaked_segments() == []
+
+    def test_track_appearances_parity_across_backends(self, parent):
+        tables = []
+        for backend in BACKENDS:
+            config = EnsemFDetConfig(
+                sampler=RandomEdgeSampler(0.35),
+                n_samples=5,
+                fdet=FdetConfig(max_blocks=4),
+                executor=backend,
+                n_workers=2,
+                seed=21,
+                track_appearances=True,
+            )
+            tables.append(EnsemFDet(config).fit(parent).vote_table)
+        for table in tables[1:]:
+            assert table.user_votes == tables[0].user_votes
+            assert table.user_appearances == tables[0].user_appearances
+            assert table.merchant_appearances == tables[0].merchant_appearances
+
+
+class TestTrustedViews:
+    """FDET accepts read-only store-backed graphs without re-validation."""
+
+    def test_detect_on_shared_view_matches_original(self, parent):
+        shared = GraphStore.from_graph(parent).export_shared()
+        try:
+            view = attached_store(shared.layout).to_graph()
+            direct = Fdet(FdetConfig(max_blocks=4)).detect(parent)
+            via_view = Fdet(FdetConfig(max_blocks=4)).detect(view)
+            assert np.array_equal(direct.densities, via_view.densities)
+            assert np.array_equal(direct.detected_users(), via_view.detected_users())
+        finally:
+            detach_all()
+            shared.dispose()
+
+    def test_segment_gone_after_dispose(self, parent):
+        shared = GraphStore.from_graph(parent).export_shared()
+        name = shared.layout.segment
+        shared.dispose()
+        shared.dispose()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

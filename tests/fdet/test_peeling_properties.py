@@ -82,8 +82,18 @@ def test_peel_density_equals_recomputed_density_on_prefix(case):
 @given(graphs_with_weights())
 @settings(max_examples=40, deadline=None)
 def test_peel_invariant_under_node_relabelling(case):
-    """Permuting user ids must not change the best density found."""
-    graph, weights = case
+    """Permuting user ids must not change the best density found.
+
+    Greedy peeling breaks priority ties by node id, so with tied
+    priorities the result legitimately depends on the labelling (e.g.
+    several unit-weight edges). Distinct power-of-two edge weights make
+    every node's priority a unique subset sum at every step — the only
+    possible ties (isolated nodes at 0, and a degree-matched user/merchant
+    pair sharing the exact same edges) provably cannot alter the density
+    trajectory — so the invariance holds exactly.
+    """
+    graph, _ = case
+    weights = 2.0 ** np.arange(graph.n_edges)
     result = greedy_peel(graph, weights)
 
     rng = np.random.default_rng(0)

@@ -125,6 +125,100 @@ class TestReusablePool:
         pool.close()
         pool.close()
 
+    def test_close_before_use_is_noop(self):
+        pool = ReusablePool(ExecutorMode.PROCESS, n_workers=1)
+        pool.close()
+        pool.close()
+
+    def test_initializer_runs_once_per_worker(self):
+        with ReusablePool(
+            ExecutorMode.PROCESS,
+            n_workers=2,
+            initializer=_set_init_mark,
+            initargs=("yes",),
+        ) as pool:
+            marks = pool.map(_read_init_mark, range(8))
+        assert marks == ["yes"] * 8
+
+
+def _set_init_mark(value: str) -> None:
+    os.environ["REPRO_POOL_INIT_MARK"] = value
+
+
+def _read_init_mark(_: int) -> str:
+    return os.environ.get("REPRO_POOL_INIT_MARK", "missing")
+
+
+class TestReusablePoolEnsembleLifecycle:
+    """The pool survives (and stays correct) across whole ensemble fits."""
+
+    @staticmethod
+    def _graph():
+        from repro.graph import BipartiteGraph
+
+        rng_local = __import__("numpy").random.default_rng(3)
+        users = rng_local.integers(0, 120, size=900)
+        merchants = rng_local.integers(0, 40, size=900)
+        return BipartiteGraph(120, 40, users, merchants)
+
+    @staticmethod
+    def _config(**overrides):
+        from repro.ensemble import EnsemFDetConfig
+        from repro.fdet import FdetConfig
+        from repro.sampling import RandomEdgeSampler
+
+        defaults = dict(
+            sampler=RandomEdgeSampler(0.4),
+            n_samples=6,
+            fdet=FdetConfig(max_blocks=4),
+            executor=ExecutorMode.PROCESS,
+            seed=9,
+        )
+        defaults.update(overrides)
+        return EnsemFDetConfig(**defaults)
+
+    @staticmethod
+    def _leaked_segments():
+        if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+            return []
+        return [n for n in os.listdir("/dev/shm") if n.startswith("repro_gs_")]
+
+    def test_reused_across_multiple_fits(self):
+        from repro.ensemble import EnsemFDet
+
+        graph = self._graph()
+        with ReusablePool(ExecutorMode.PROCESS, n_workers=2) as pool:
+            detector = EnsemFDet(self._config(), pool=pool)
+            first = detector.fit(graph)
+            executor = pool._executor
+            second = detector.fit(graph)
+            assert pool._executor is executor  # same warm workers
+        serial = EnsemFDet(self._config(executor=ExecutorMode.SERIAL)).fit(graph)
+        assert first.vote_table.user_votes == serial.vote_table.user_votes
+        assert second.vote_table.user_votes == serial.vote_table.user_votes
+
+    def test_repro_workers_pins_pool_size(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        pool = ReusablePool(ExecutorMode.PROCESS)
+        assert pool.n_workers == 2
+        pool.close()
+
+    def test_shared_segments_cleaned_after_fits_and_close(self):
+        from repro.ensemble import EnsemFDet
+
+        graph = self._graph()
+        pool = ReusablePool(ExecutorMode.PROCESS, n_workers=2)
+        try:
+            EnsemFDet(self._config(), pool=pool).fit(graph)
+            # the per-fit segment is already unlinked before fit returns
+            assert self._leaked_segments() == []
+            EnsemFDet(self._config(seed=10), pool=pool).fit(graph)
+            assert self._leaked_segments() == []
+        finally:
+            pool.close()
+        pool.close()  # idempotent after real use
+        assert self._leaked_segments() == []
+
 
 class TestTiming:
     def test_timer_measures(self):

@@ -10,9 +10,11 @@ from repro.graph import BipartiteGraph, assert_subgraph_of
 from repro.sampling import (
     OneSideNodeSampler,
     RandomEdgeSampler,
+    SamplePlan,
     Side,
     TwoSideNodeSampler,
     recommend_side,
+    resolve_rng,
 )
 
 
@@ -32,6 +34,39 @@ class TestRatioValidation:
     def test_sample_many_needs_positive_count(self, tiny_graph):
         with pytest.raises(SamplingError):
             RandomEdgeSampler(0.5).sample_many(tiny_graph, 0)
+
+    def test_plan_many_needs_positive_count(self, tiny_graph):
+        with pytest.raises(SamplingError):
+            RandomEdgeSampler(0.5).plan_many(tiny_graph, 0)
+
+
+class TestResolveRng:
+    def test_accepts_int_none_and_generator(self):
+        generator = np.random.default_rng(1)
+        assert resolve_rng(generator) is generator
+        assert isinstance(resolve_rng(5), np.random.Generator)
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    @pytest.mark.parametrize("seed", [True, False, np.True_])
+    def test_bool_seed_rejected(self, seed):
+        # bool is an int subclass: resolve_rng(True) used to silently mean
+        # seed 1, hiding a misplaced flag argument
+        with pytest.raises(SamplingError, match="bool"):
+            resolve_rng(seed)
+
+    def test_bool_seed_rejected_through_sampler(self, tiny_graph):
+        with pytest.raises(SamplingError, match="bool"):
+            RandomEdgeSampler(0.5).sample(tiny_graph, rng=True)
+
+
+class TestSamplePlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SamplingError, match="kind"):
+            SamplePlan(kind="bogus")
+
+    def test_nbytes_counts_payload_arrays(self):
+        plan = SamplePlan(kind="edges", edge_indices=np.arange(10, dtype=np.int64))
+        assert plan.nbytes == 80
 
 
 class TestRandomEdgeSampler:
