@@ -65,6 +65,13 @@ from .sampling import (
     TwoSideNodeSampler,
     make_sampler,
 )
+from .scenarios import (
+    Scenario,
+    ScenarioGridConfig,
+    ScenarioResult,
+    make_scenario,
+    run_grid,
+)
 
 __version__ = "1.0.0"
 
@@ -122,4 +129,10 @@ __all__ = [
     "auc_pr",
     "best_f1",
     "max_detected_gap",
+    # scenarios
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioGridConfig",
+    "make_scenario",
+    "run_grid",
 ]

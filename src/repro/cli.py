@@ -8,11 +8,14 @@ Subcommands::
     ensemfdet dataset <outdir> [--index I] [--scale X] [--seed K]
     ensemfdet stats <edges.tsv>
     ensemfdet experiments [ids...] [--scale ...] [--outdir ...]
+    ensemfdet scenario [--list] [--scenarios a,b] [--intensities 0.5,1.0] [...]
 
 ``watch`` keeps warm detection state in a ``.npz`` archive and tails a
 growing edge-list file, re-detecting only the ensemble members a new batch
 of edges invalidates; ``update`` applies one explicit delta file to the
 same state. Both print the refreshed detection in the ``detect`` format.
+``scenario`` sweeps the adversarial-attack robustness grid (detector ×
+attack shape × intensity) and optionally writes JSON/CSV artifacts.
 """
 
 from __future__ import annotations
@@ -30,7 +33,15 @@ from .experiments.runner import main as experiments_main
 from .fdet import FdetConfig, PeelEngine
 from .graph import EdgeBatch, GraphAccumulator, describe, iter_edge_batches, load_edge_list
 from .graph.io import _iter_rows
+from .parallel import ExecutorMode
 from .sampling import RandomEdgeSampler, StableEdgeSampler
+from .scenarios import (
+    DETECTOR_NAMES,
+    SCENARIO_NAMES,
+    ScenarioGridConfig,
+    run_grid,
+    scenario_descriptions,
+)
 
 __all__ = ["main"]
 
@@ -245,6 +256,37 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_csv(raw: str, cast) -> tuple:
+    """Split a ``--flag a,b,c`` value into a tuple of ``cast``ed items."""
+    return tuple(cast(item.strip()) for item in raw.split(",") if item.strip())
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.list:
+        for name, description in scenario_descriptions().items():
+            print(f"{name}\t{description}")
+        return 0
+    config = ScenarioGridConfig(
+        scenarios=_parse_csv(args.scenarios, str),
+        intensities=_parse_csv(args.intensities, float),
+        detectors=_parse_csv(args.detectors, str),
+        scale=args.scale,
+        seed=args.seed,
+        n_samples=args.samples,
+        sample_ratio=args.ratio,
+        stripe=args.stripe,
+        max_blocks=args.max_blocks,
+        engine=args.engine,
+        executor=args.executor,
+        precision_k=args.k,
+    )
+    result = run_grid(config, outdir=args.outdir)
+    print(result.render(max_rows=args.max_rows))
+    if args.outdir is not None:
+        print(f"# artifacts written to {args.outdir}/scenario_grid.{{json,csv}}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = load_edge_list(args.edges)
     for key, value in describe(graph).as_row().items():
@@ -329,6 +371,51 @@ def main(argv: list[str] | None = None) -> int:
     stats = sub.add_parser("stats", help="print statistics of an edge-list TSV")
     stats.add_argument("edges")
     stats.set_defaults(func=_cmd_stats)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="sweep the adversarial-scenario robustness grid",
+        description="Evaluate detectors against parameterized attack shapes "
+        "(camouflage, hijacked accounts, staged waves, spray, skewed targets) "
+        "across an intensity sweep; staged scenarios replay through the "
+        "incremental/streaming path batch by batch.",
+    )
+    scenario.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    scenario.add_argument(
+        "--scenarios",
+        default=",".join(SCENARIO_NAMES),
+        help="comma-separated scenario names (default: all registered)",
+    )
+    scenario.add_argument(
+        "--intensities",
+        default="0.5,1.0,2.0",
+        help="comma-separated attack-strength multipliers",
+    )
+    scenario.add_argument(
+        "--detectors",
+        default="ensemfdet,incremental",
+        help=f"comma-separated detector backends (available: {', '.join(DETECTOR_NAMES)})",
+    )
+    scenario.add_argument("--scale", type=float, default=0.5, help="world-size multiplier")
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--samples", type=int, default=16, help="ensemble size N")
+    scenario.add_argument("--ratio", type=float, default=0.3, help="sample ratio S")
+    scenario.add_argument("--stripe", type=int, default=64, help="edges per sampling stripe")
+    scenario.add_argument("--max-blocks", type=int, default=10)
+    scenario.add_argument(
+        "--engine", choices=PeelEngine.ALL, default=PeelEngine.DEFAULT, help="peeling backend"
+    )
+    scenario.add_argument(
+        "--executor",
+        choices=(ExecutorMode.SERIAL, ExecutorMode.THREAD, ExecutorMode.PROCESS),
+        default=ExecutorMode.SERIAL,
+    )
+    scenario.add_argument("--k", type=int, default=50, help="k of precision@k")
+    scenario.add_argument("--outdir", default=None, help="write JSON/CSV artifacts here")
+    scenario.add_argument("--max-rows", type=int, default=60, help="rows shown in the table")
+    scenario.set_defaults(func=_cmd_scenario)
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures", add_help=False

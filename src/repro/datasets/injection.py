@@ -26,7 +26,72 @@ from ..graph import BipartiteGraph
 from ..sampling import resolve_rng
 from .blacklist import Blacklist
 
-__all__ = ["FraudBlockSpec", "InjectionResult", "inject_fraud_blocks"]
+__all__ = [
+    "FraudBlockSpec",
+    "InjectionResult",
+    "inject_fraud_blocks",
+    "dense_block_pairs",
+    "merchant_popularity",
+    "require_integer",
+    "require_density",
+]
+
+#: widest candidate-edge matrix a block may request (``n_users × n_merchants``).
+#: The Bernoulli mask materialises one float per candidate pair, so a block
+#: wider than any realistic item universe would only fail deep inside edge
+#: generation with an allocation error; 2**27 cells (~1 GiB of mask) is far
+#: beyond any sane fraud group while still failing fast at spec time.
+MAX_BLOCK_CELLS = 2**27
+
+
+def require_integer(value, name: str, error: type[Exception] = DatasetError) -> int:
+    """Reject non-integers (incl. bools) with a clear error; return ``int``.
+
+    Shared by the block specs here and the scenario generators — silently
+    truncating ``n_waves=2.9`` would run a different experiment than the
+    caller asked for.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise error(f"{name} must be an integer, got {value!r} ({type(value).__name__})")
+    return int(value)
+
+
+def require_density(value, error: type[Exception] = DatasetError) -> float:
+    """Validate a Bernoulli block density lies in ``(0, 1]``."""
+    if not 0.0 < value <= 1.0:
+        raise error(f"density must be in (0, 1], got {value}")
+    return float(value)
+
+
+def dense_block_pairs(
+    rng: np.random.Generator, n_users: int, n_merchants: int, density: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Local-index pairs of a Bernoulli(``density``) dense bipartite block.
+
+    The canonical planted-signal idiom, shared by fraud injection and the
+    adversarial scenario generators: one coin per (user, merchant) cell,
+    then every silent user is given one purchase at a random block
+    merchant — fraudsters stagger, but never sit out entirely. Consumes
+    the RNG as one ``random((n_users, n_merchants))`` draw plus (only if
+    needed) one ``integers`` draw.
+    """
+    pair_mask = rng.random((n_users, n_merchants)) < density
+    silent = ~pair_mask.any(axis=1)
+    if silent.any():
+        pair_mask[silent, rng.integers(0, n_merchants, size=int(silent.sum()))] = True
+    return np.nonzero(pair_mask)
+
+
+def merchant_popularity(graph: BipartiteGraph) -> np.ndarray | None:
+    """Degree-proportional choice weights over a graph's merchants.
+
+    ``None`` when the graph has no edges (no popularity signal to target).
+    """
+    degrees = graph.merchant_degrees().astype(np.float64)
+    total = degrees.sum()
+    if total <= 0:
+        return None
+    return degrees / total
 
 
 @dataclass(frozen=True)
@@ -58,10 +123,18 @@ class FraudBlockSpec:
     camouflage_per_user: int = 0
 
     def __post_init__(self) -> None:
+        for name in ("n_users", "n_merchants", "camouflage_per_user"):
+            require_integer(getattr(self, name), name)
         if self.n_users < 1 or self.n_merchants < 1:
             raise DatasetError("fraud blocks need at least one user and one merchant")
-        if not 0.0 < self.density <= 1.0:
-            raise DatasetError(f"block density must be in (0, 1], got {self.density}")
+        if int(self.n_users) * int(self.n_merchants) > MAX_BLOCK_CELLS:
+            raise DatasetError(
+                f"fraud block of {self.n_users} users x {self.n_merchants} merchants "
+                f"requests {int(self.n_users) * int(self.n_merchants)} candidate edges, "
+                f"wider than the supported item universe ({MAX_BLOCK_CELLS} cells); "
+                "split the group into smaller blocks"
+            )
+        require_density(self.density)
         if not 0.0 <= self.reuse_merchant_fraction <= 1.0:
             raise DatasetError(
                 f"reuse_merchant_fraction must be in [0, 1], got {self.reuse_merchant_fraction}"
@@ -104,11 +177,7 @@ def inject_fraud_blocks(
             block_user_labels=(),
         )
 
-    merchant_degrees = background.merchant_degrees().astype(np.float64)
-    if merchant_degrees.sum() > 0:
-        popularity = merchant_degrees / merchant_degrees.sum()
-    else:
-        popularity = None
+    popularity = merchant_popularity(background)
 
     next_user = background.n_users
     next_merchant = background.n_merchants
@@ -134,13 +203,9 @@ def inject_fraud_blocks(
         next_merchant += n_new
         block_merchants = np.concatenate([reused, created]).astype(np.int64)
 
-        # dense random bipartite block: Bernoulli(density) per pair, but
-        # guarantee every fraud user makes at least one in-block purchase
-        pair_mask = generator.random((spec.n_users, spec.n_merchants)) < spec.density
-        silent = ~pair_mask.any(axis=1)
-        if silent.any():
-            pair_mask[silent, generator.integers(0, spec.n_merchants, size=int(silent.sum()))] = True
-        block_u, block_m = np.nonzero(pair_mask)
+        block_u, block_m = dense_block_pairs(
+            generator, spec.n_users, spec.n_merchants, spec.density
+        )
         new_edge_users.append(block_users[block_u])
         new_edge_merchants.append(block_merchants[block_m])
 

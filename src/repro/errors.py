@@ -43,3 +43,7 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured incorrectly."""
+
+
+class ScenarioError(ReproError):
+    """An adversarial scenario or the scenario harness was misconfigured."""

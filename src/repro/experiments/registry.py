@@ -12,6 +12,7 @@ from .fig6_truncation import Fig6Truncation
 from .fig7_impact_n import Fig7ImpactN
 from .fig8_impact_s import Fig8ImpactS
 from .fig9_impact_t import Fig9ImpactT
+from .scn_robustness import ScnRobustness
 from .table1_datasets import Table1Datasets
 from .table3_timing import Table3Timing
 
@@ -28,6 +29,7 @@ _CLASSES: tuple[type[Experiment], ...] = (
     Fig7ImpactN,
     Fig8ImpactS,
     Fig9ImpactT,
+    ScnRobustness,
 )
 
 #: experiment id -> driver class

@@ -1,0 +1,43 @@
+"""Scenario robustness grid — a beyond-the-paper experiment driver.
+
+The paper stops at naive dense-block injection; this driver runs the full
+adversarial scenario library (camouflage, hijacked accounts, staged waves,
+spray fraud, skewed targets — see :mod:`repro.scenarios`) against both the
+cold ensemble and the incremental/streaming path, across an
+attack-intensity sweep, and reports best-F1 / AUC-PR / precision@k per
+cell. The interesting read-out is the *shape*: which attack shapes degrade
+the ensemble, and how gracefully.
+"""
+
+from __future__ import annotations
+
+from ..parallel import ExecutorMode
+from ..scenarios import ScenarioGridConfig, run_grid
+from .base import Experiment, ExperimentResult, ScalePreset, resolve_scale
+
+__all__ = ["ScnRobustness"]
+
+
+class ScnRobustness(Experiment):
+    """Detector × attack-scenario × intensity robustness grid."""
+
+    id = "scn"
+    title = "Scenario robustness — detectors vs. adversarial attack shapes"
+    paper_artifact = "beyond-paper extension (FraudTrap-style attack grid)"
+
+    def run(self, scale: str | ScalePreset = "small", seed: int = 0) -> ExperimentResult:
+        preset = resolve_scale(scale)
+        intensities = (1.0,) if preset.name == "tiny" else (0.5, 1.0, 2.0)
+        config = ScenarioGridConfig(
+            intensities=intensities,
+            detectors=("ensemfdet", "incremental"),
+            scale=preset.dataset_scale,
+            seed=seed,
+            n_samples=preset.n_samples,
+            sample_ratio=preset.sample_ratio,
+            max_blocks=preset.max_blocks,
+            # serial keeps the many small fits cheap (no pool spin-up per cell)
+            executor=ExecutorMode.SERIAL,
+        )
+        grid = run_grid(config)
+        return self._result(grid.rows, scale=preset.name, seed=seed, grid=grid.meta)

@@ -8,6 +8,7 @@ from .curves import (
     curve_from_detections,
     max_detected_gap,
     pr_curve_from_scores,
+    precision_at_k,
     precision_at_recall,
 )
 from .evaluation import (
@@ -28,6 +29,7 @@ __all__ = [
     "auc_pr",
     "best_f1",
     "precision_at_recall",
+    "precision_at_k",
     "evaluate_detection",
     "ensemble_threshold_curve",
     "fraudar_block_curve",

@@ -30,6 +30,7 @@ __all__ = [
     "auc_pr",
     "best_f1",
     "precision_at_recall",
+    "precision_at_k",
 ]
 
 
@@ -162,3 +163,21 @@ def precision_at_recall(points: Sequence[CurvePoint], recall: float) -> float:
     """Best precision among points achieving at least ``recall``."""
     eligible = [point.precision for point in points if point.recall >= recall]
     return max(eligible, default=0.0)
+
+
+def precision_at_k(
+    ranked_labels: Sequence[int], truth: Iterable[int], k: int
+) -> float:
+    """Fraction of the ``k`` most-suspicious labels that are truly fraud.
+
+    ``ranked_labels`` is a detector's ranking, most suspicious first (vote
+    counts, block order, scores — any ranking). The denominator is always
+    ``k`` (the standard definition): a ranking shorter than ``k`` pays for
+    the labels it declined to rank, which keeps the score comparable
+    across detectors whose rankings have different lengths.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    truth_set = set(int(label) for label in truth)
+    hits = sum(1 for label in list(ranked_labels)[:k] if int(label) in truth_set)
+    return hits / k

@@ -1,0 +1,39 @@
+"""Adversarial attack scenarios and the robustness-evaluation harness."""
+
+from .base import BatchKind, Scenario, ScenarioResult, accumulate_batches
+from .generators import (
+    CamouflageScenario,
+    HijackedAccountsScenario,
+    NaiveBlockScenario,
+    SkewedTargetsScenario,
+    SprayScenario,
+    StagedCampaignScenario,
+)
+from .harness import DETECTOR_NAMES, ScenarioGridConfig, evaluate_cell, run_grid
+from .registry import (
+    SCENARIO_NAMES,
+    available_scenarios,
+    make_scenario,
+    scenario_descriptions,
+)
+
+__all__ = [
+    "BatchKind",
+    "Scenario",
+    "ScenarioResult",
+    "accumulate_batches",
+    "NaiveBlockScenario",
+    "CamouflageScenario",
+    "HijackedAccountsScenario",
+    "StagedCampaignScenario",
+    "SprayScenario",
+    "SkewedTargetsScenario",
+    "SCENARIO_NAMES",
+    "available_scenarios",
+    "make_scenario",
+    "scenario_descriptions",
+    "DETECTOR_NAMES",
+    "ScenarioGridConfig",
+    "evaluate_cell",
+    "run_grid",
+]

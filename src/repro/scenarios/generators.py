@@ -1,0 +1,361 @@
+"""The attack-shape library: six parameterised fraud campaign generators.
+
+Shapes, roughly ordered from "what the paper evaluates" to "what real
+adversaries do":
+
+=================  ========================================================
+``naive_block``    fresh accounts × fresh merchants dense block — the
+                   paper's (and the JD-like benchmark's) planted signal
+``camouflage``     dense block **plus** camouflage purchases at popular
+                   honest merchants (FraudTrap's evasion), diluting each
+                   fraud user's block share
+``hijacked``       compromised *existing* accounts: honest purchase history
+                   already in the background, fraud tail appended
+``staged``         the block arrives in timed waves — one replay batch per
+                   wave, exercising incremental re-detection per burst
+``spray``          low-density fraud: each fraud account spreads few
+                   purchases over random honest merchants, no dense core
+``skewed_targets`` the block lands on the *most popular* honest merchants,
+                   entangling fraud with hub traffic
+=================  ========================================================
+
+Every generator guarantees each fraud user makes at least one attack
+purchase (so ground truth is structurally visible), emits only non-empty
+batches, and stamps exact attack accounting into ``dataset.params`` — the
+numbers the property suite asserts as invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.injection import (
+    MAX_BLOCK_CELLS,
+    dense_block_pairs,
+    merchant_popularity,
+    require_density,
+    require_integer,
+)
+from ..errors import ScenarioError
+from ..graph import BipartiteGraph, EdgeBatch
+from .base import BatchKind, Scenario
+
+__all__ = [
+    "NaiveBlockScenario",
+    "CamouflageScenario",
+    "HijackedAccountsScenario",
+    "StagedCampaignScenario",
+    "SprayScenario",
+    "SkewedTargetsScenario",
+]
+
+
+def _dense_block_edges(
+    rng: np.random.Generator,
+    user_labels: np.ndarray,
+    merchant_labels: np.ndarray,
+    density: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bernoulli(``density``) bipartite block over global labels.
+
+    Delegates to the injection module's canonical
+    :func:`~repro.datasets.injection.dense_block_pairs` idiom (every user
+    guaranteed at least one in-block purchase), mapping the local pairs to
+    the given labels. Absurdly wide blocks fail fast (same ceiling as
+    :data:`~repro.datasets.injection.MAX_BLOCK_CELLS`) instead of dying
+    inside the Bernoulli-mask allocation — ``intensity`` is an unbounded
+    user-facing axis.
+    """
+    cells = int(user_labels.size) * int(merchant_labels.size)
+    if cells > MAX_BLOCK_CELLS:
+        raise ScenarioError(
+            f"attack block of {user_labels.size} users x {merchant_labels.size} "
+            f"merchants requests {cells} candidate edges (> {MAX_BLOCK_CELLS}); "
+            "lower the intensity or scale"
+        )
+    block_u, block_m = dense_block_pairs(
+        rng, int(user_labels.size), int(merchant_labels.size), density
+    )
+    return user_labels[block_u], merchant_labels[block_m]
+
+
+def _batch(users: np.ndarray, merchants: np.ndarray) -> EdgeBatch:
+    return EdgeBatch(
+        users=np.ascontiguousarray(users, dtype=np.int64),
+        merchants=np.ascontiguousarray(merchants, dtype=np.int64),
+        weights=None,
+    )
+
+
+def _merchant_popularity(background: BipartiteGraph) -> np.ndarray:
+    """Degree-proportional choice weights, uniform when there is no signal.
+
+    Unlike injection (which skips camouflage on edgeless backgrounds), a
+    camouflage *scenario* always camouflages — hence the uniform fallback.
+    """
+    popularity = merchant_popularity(background)
+    if popularity is None:
+        return np.full(background.n_merchants, 1.0 / background.n_merchants)
+    return popularity
+
+
+def _check_positive_int(value, name: str) -> int:
+    """Shared integer validation, raised as a ScenarioError (no silent
+    ``int()`` truncation — ``n_waves=2.9`` must not quietly run 2 waves)."""
+    checked = require_integer(value, name, error=ScenarioError)
+    if checked < 1:
+        raise ScenarioError(f"{name} must be positive, got {checked}")
+    return checked
+
+
+def _check_density(density: float) -> None:
+    require_density(density, error=ScenarioError)
+
+
+class NaiveBlockScenario(Scenario):
+    """The paper's attack: fresh accounts densely buying at fresh merchants."""
+
+    name = "naive_block"
+    description = "dense block of new users x new merchants (the paper's setting)"
+
+    def __init__(self, block_merchants: int = 10, density: float = 0.6) -> None:
+        self.block_merchants = _check_positive_int(block_merchants, "block_merchants")
+        _check_density(density)
+        self.density = float(density)
+
+    def _attack(self, background, n_fraud, rng):
+        users = np.arange(background.n_users, background.n_users + n_fraud, dtype=np.int64)
+        merchants = np.arange(
+            background.n_merchants, background.n_merchants + self.block_merchants, dtype=np.int64
+        )
+        edge_users, edge_merchants = _dense_block_edges(rng, users, merchants, self.density)
+        params = {
+            "block_merchants": self.block_merchants,
+            "block_density": self.density,
+            "n_attack_edges": int(edge_users.size),
+        }
+        return (
+            (_batch(edge_users, edge_merchants),),
+            (BatchKind.ATTACK,),
+            users,
+            params,
+        )
+
+
+class CamouflageScenario(Scenario):
+    """Dense block + camouflage purchases at popular honest merchants.
+
+    FraudTrap's observation: plain dense-subgraph peeling degrades once
+    fraud accounts *also* buy honest items, because camouflage edges dilute
+    the block's share of each account's activity.  ``camouflage_ratio`` is
+    the number of camouflage edges per in-block edge; the realised count is
+    ``round(ratio × n_block_edges)``, dealt round-robin over the fraud
+    users and aimed at popularity-weighted background merchants.
+    """
+
+    name = "camouflage"
+    description = "dense block + popularity-weighted camouflage edges (FraudTrap-style)"
+
+    def __init__(
+        self,
+        block_merchants: int = 10,
+        density: float = 0.6,
+        camouflage_ratio: float = 1.0,
+    ) -> None:
+        self.block_merchants = _check_positive_int(block_merchants, "block_merchants")
+        _check_density(density)
+        if camouflage_ratio < 0:
+            raise ScenarioError(f"camouflage_ratio must be >= 0, got {camouflage_ratio}")
+        self.density = float(density)
+        self.camouflage_ratio = float(camouflage_ratio)
+
+    def _attack(self, background, n_fraud, rng):
+        users = np.arange(background.n_users, background.n_users + n_fraud, dtype=np.int64)
+        merchants = np.arange(
+            background.n_merchants, background.n_merchants + self.block_merchants, dtype=np.int64
+        )
+        block_users, block_merchants = _dense_block_edges(rng, users, merchants, self.density)
+        n_camouflage = int(round(self.camouflage_ratio * block_users.size))
+        if n_camouflage:
+            camo_users = users[np.arange(n_camouflage) % users.size]
+            camo_merchants = rng.choice(
+                background.n_merchants, size=n_camouflage, p=_merchant_popularity(background)
+            ).astype(np.int64)
+            edge_users = np.concatenate([block_users, camo_users])
+            edge_merchants = np.concatenate([block_merchants, camo_merchants])
+        else:
+            edge_users, edge_merchants = block_users, block_merchants
+        params = {
+            "block_merchants": self.block_merchants,
+            "block_density": self.density,
+            "camouflage_ratio": self.camouflage_ratio,
+            "n_block_edges": int(block_users.size),
+            "n_camouflage_edges": n_camouflage,
+            "n_attack_edges": int(edge_users.size),
+        }
+        return (
+            (_batch(edge_users, edge_merchants),),
+            (BatchKind.ATTACK,),
+            users,
+            params,
+        )
+
+
+class HijackedAccountsScenario(Scenario):
+    """Compromised existing accounts: honest history, then a fraud tail.
+
+    Instead of fresh registrations, the campaign takes over established
+    users (sampled from accounts with at least one honest purchase) and
+    points them at a fresh merchant set.  Detectors keyed on "new node
+    with only-block activity" lose that crutch here.
+    """
+
+    name = "hijacked"
+    description = "existing accounts (honest history kept) append a fraud tail"
+
+    def __init__(self, block_merchants: int = 8, density: float = 0.7) -> None:
+        self.block_merchants = _check_positive_int(block_merchants, "block_merchants")
+        _check_density(density)
+        self.density = float(density)
+
+    def _attack(self, background, n_fraud, rng):
+        candidates = np.unique(background.edge_users)
+        n_fraud = min(n_fraud, int(candidates.size))
+        users = np.sort(rng.choice(candidates, size=n_fraud, replace=False)).astype(np.int64)
+        merchants = np.arange(
+            background.n_merchants, background.n_merchants + self.block_merchants, dtype=np.int64
+        )
+        edge_users, edge_merchants = _dense_block_edges(rng, users, merchants, self.density)
+        params = {
+            "block_merchants": self.block_merchants,
+            "block_density": self.density,
+            "n_attack_edges": int(edge_users.size),
+        }
+        return (
+            (_batch(edge_users, edge_merchants),),
+            (BatchKind.ATTACK,),
+            users,
+            params,
+        )
+
+
+class StagedCampaignScenario(Scenario):
+    """A bursty campaign: the fraud block arrives in ordered waves.
+
+    The fraud users are split into ``n_waves`` contiguous cohorts, each
+    emitted as its own replay batch against the *same* merchant set —
+    loosely-synchronised fraud that only becomes a dense block once all
+    waves have landed.  This is the scenario that drives
+    :meth:`repro.ensemble.IncrementalEnsemFDet.update` once per wave.
+    """
+
+    name = "staged"
+    description = "fraud block arriving in timed waves (one replay batch per wave)"
+
+    def __init__(
+        self, n_waves: int = 4, block_merchants: int = 10, density: float = 0.6
+    ) -> None:
+        self.n_waves = _check_positive_int(n_waves, "n_waves")
+        self.block_merchants = _check_positive_int(block_merchants, "block_merchants")
+        _check_density(density)
+        self.density = float(density)
+
+    def _attack(self, background, n_fraud, rng):
+        users = np.arange(background.n_users, background.n_users + n_fraud, dtype=np.int64)
+        merchants = np.arange(
+            background.n_merchants, background.n_merchants + self.block_merchants, dtype=np.int64
+        )
+        n_waves = min(self.n_waves, n_fraud)
+        batches = []
+        wave_sizes = []
+        for cohort in np.array_split(users, n_waves):
+            edge_users, edge_merchants = _dense_block_edges(
+                rng, cohort, merchants, self.density
+            )
+            batches.append(_batch(edge_users, edge_merchants))
+            wave_sizes.append(int(cohort.size))
+        params = {
+            "block_merchants": self.block_merchants,
+            "block_density": self.density,
+            "n_waves": n_waves,
+            "wave_users": ",".join(str(size) for size in wave_sizes),
+            "n_attack_edges": int(sum(batch.n_edges for batch in batches)),
+        }
+        return (
+            tuple(batches),
+            (BatchKind.WAVE,) * n_waves,
+            users,
+            params,
+        )
+
+
+class SprayScenario(Scenario):
+    """Low-density "spray" fraud: no dense core at all.
+
+    Each fraud account makes ``purchases_per_user`` purchases at uniformly
+    random honest merchants.  There is no dense block to peel — the hard
+    floor for density-based detectors, included so grids show where the
+    method's assumptions stop holding rather than pretending they don't.
+    """
+
+    name = "spray"
+    description = "fraud users spread few purchases over random honest merchants"
+
+    def __init__(self, purchases_per_user: int = 3) -> None:
+        self.purchases_per_user = _check_positive_int(purchases_per_user, "purchases_per_user")
+
+    def _attack(self, background, n_fraud, rng):
+        users = np.arange(background.n_users, background.n_users + n_fraud, dtype=np.int64)
+        edge_users = np.repeat(users, self.purchases_per_user)
+        edge_merchants = rng.integers(
+            0, background.n_merchants, size=edge_users.size
+        ).astype(np.int64)
+        params = {
+            "purchases_per_user": self.purchases_per_user,
+            "n_attack_edges": int(edge_users.size),
+        }
+        return (
+            (_batch(edge_users, edge_merchants),),
+            (BatchKind.ATTACK,),
+            users,
+            params,
+        )
+
+
+class SkewedTargetsScenario(Scenario):
+    """The block lands on the most popular honest merchants.
+
+    Fresh fraud accounts densely buy at the background's top-degree hubs —
+    no new merchants appear, and the attacked merchants keep their large
+    honest customer base.  Detectors that flag whole blocks risk sweeping
+    honest hub traffic in with the fraud.
+    """
+
+    name = "skewed_targets"
+    description = "dense block aimed at the top-popularity honest merchants"
+
+    def __init__(self, block_merchants: int = 8, density: float = 0.7) -> None:
+        self.block_merchants = _check_positive_int(block_merchants, "block_merchants")
+        _check_density(density)
+        self.density = float(density)
+
+    def _attack(self, background, n_fraud, rng):
+        users = np.arange(background.n_users, background.n_users + n_fraud, dtype=np.int64)
+        degrees = background.merchant_degrees()
+        n_targets = min(self.block_merchants, background.n_merchants)
+        # stable ordering so equal-degree hubs resolve deterministically
+        order = np.argsort(-degrees, kind="stable")
+        merchants = np.sort(order[:n_targets]).astype(np.int64)
+        edge_users, edge_merchants = _dense_block_edges(rng, users, merchants, self.density)
+        params = {
+            "block_merchants": n_targets,
+            "block_density": self.density,
+            "target_merchants": ",".join(str(m) for m in merchants.tolist()),
+            "n_attack_edges": int(edge_users.size),
+        }
+        return (
+            (_batch(edge_users, edge_merchants),),
+            (BatchKind.ATTACK,),
+            users,
+            params,
+        )

@@ -1,0 +1,339 @@
+"""Scenario evaluation harness: detector × scenario × intensity grids.
+
+One grid cell = run one detector against one generated attack instance and
+summarise its whole operating curve: best F1 (with the threshold that
+achieves it), area under the PR curve, and precision@k over the detector's
+suspiciousness ranking — all through :mod:`repro.metrics`.
+
+Three detector backends are registered:
+
+``ensemfdet``
+    Cold :meth:`repro.ensemble.EnsemFDet.fit` on the full attacked graph.
+``incremental``
+    The streaming path: :meth:`~repro.ensemble.IncrementalEnsemFDet.fit`
+    on the honest background batch, then one
+    :meth:`~repro.ensemble.IncrementalEnsemFDet.update` per attack batch
+    in replay order — staged scenarios drive one update per wave. Both
+    ensemble backends share the same :class:`~repro.sampling.StableEdgeSampler`
+    and seed, so their final vote tables (and hence every metric) are
+    bit-identical; the harness reporting both is a live cross-check of the
+    incremental layer.
+``fraudar``
+    The multi-block Fraudar baseline, ranked by block extraction order.
+
+Results come back as the repo's standard
+:class:`~repro.experiments.base.ExperimentResult` (renderable ASCII table,
+``to_json`` / ``to_csv`` artifact writers); :func:`run_grid` optionally
+writes ``scenario_grid.json`` / ``.csv`` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..baselines import FraudarDetector
+from ..datasets import Blacklist
+from ..ensemble import EnsemFDet, EnsemFDetConfig, IncrementalEnsemFDet, VoteTable, majority_vote
+from ..errors import ScenarioError
+from ..fdet import FdetConfig, PeelEngine
+from ..metrics import auc_pr, best_f1, curve_from_detections, precision_at_k
+from ..parallel import ExecutorMode, Timer
+from ..sampling import StableEdgeSampler
+from .base import Scenario, ScenarioResult, accumulate_batches
+from .registry import SCENARIO_NAMES, make_scenario
+
+__all__ = ["DETECTOR_NAMES", "ScenarioGridConfig", "evaluate_cell", "run_grid"]
+
+
+@dataclass(frozen=True)
+class ScenarioGridConfig:
+    """One robustness sweep: which cells to run and with what detector knobs.
+
+    Attributes
+    ----------
+    scenarios:
+        Registry names of the attack shapes to include.
+    intensities:
+        Attack-strength multipliers; the grid is the cross product.
+    detectors:
+        Detector backends (see module docstring) evaluated per instance.
+    scale:
+        World-size multiplier passed to every generator.
+    seed:
+        Seed for generation *and* for the ensemble sampling stage.
+    n_samples, sample_ratio, stripe, max_blocks, engine, executor:
+        Ensemble knobs, shared by the cold and incremental backends
+        (``stripe`` sizes the :class:`~repro.sampling.StableEdgeSampler`
+        stripes; small graphs want small stripes so wave deltas do not
+        invalidate every member).
+    precision_k:
+        The ``k`` of precision@k. The denominator is always ``k``
+        (standard definition — see :func:`repro.metrics.precision_at_k`),
+        so short rankings pay for the labels they declined to rank; on
+        tiny grids a large ``k`` yields systematically low scores.
+    """
+
+    scenarios: tuple[str, ...] = SCENARIO_NAMES
+    intensities: tuple[float, ...] = (0.5, 1.0, 2.0)
+    detectors: tuple[str, ...] = ("ensemfdet", "incremental")
+    scale: float = 0.5
+    seed: int = 0
+    n_samples: int = 16
+    sample_ratio: float = 0.3
+    stripe: int = 64
+    max_blocks: int = 10
+    engine: str = PeelEngine.DEFAULT
+    executor: str = ExecutorMode.SERIAL
+    precision_k: int = 50
+    #: per-scenario constructor overrides, e.g. ``{"camouflage": {"camouflage_ratio": 2.0}}``
+    scenario_params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ScenarioError("grid needs at least one scenario")
+        # normalise spellings once so the stray-params check and run_grid's
+        # scenario_params lookup agree with the case-insensitive registry
+        object.__setattr__(
+            self, "scenarios", tuple(name.lower() for name in self.scenarios)
+        )
+        object.__setattr__(
+            self,
+            "scenario_params",
+            {name.lower(): params for name, params in self.scenario_params.items()},
+        )
+        unknown = [name for name in self.scenarios if name not in SCENARIO_NAMES]
+        if unknown:
+            raise ScenarioError(
+                f"unknown scenarios {unknown}; available: {', '.join(SCENARIO_NAMES)}"
+            )
+        if not self.intensities or any(i <= 0 for i in self.intensities):
+            raise ScenarioError(f"intensities must be positive, got {self.intensities}")
+        bad = [name for name in self.detectors if name not in _DETECTORS]
+        if bad:
+            raise ScenarioError(
+                f"unknown detectors {bad}; available: {', '.join(sorted(_DETECTORS))}"
+            )
+        if not self.detectors:
+            raise ScenarioError("grid needs at least one detector")
+        if self.precision_k < 1:
+            raise ScenarioError(f"precision_k must be >= 1, got {self.precision_k}")
+        stray = [name for name in self.scenario_params if name not in self.scenarios]
+        if stray:
+            raise ScenarioError(
+                f"scenario_params for scenarios not in the grid: {stray}"
+            )
+
+    def ensemble_config(self) -> EnsemFDetConfig:
+        """The shared ensemble configuration for both ensemble backends."""
+        return EnsemFDetConfig(
+            sampler=StableEdgeSampler(self.sample_ratio, stripe=self.stripe),
+            n_samples=self.n_samples,
+            fdet=FdetConfig(max_blocks=self.max_blocks, engine=self.engine),
+            executor=self.executor,
+            seed=self.seed,
+        )
+
+
+def _ranked_by_votes(table: VoteTable) -> list[int]:
+    """User labels from most to least voted (ties broken by label)."""
+    return [
+        label
+        for label, _ in sorted(table.user_votes.items(), key=lambda item: (-item[1], item[0]))
+    ]
+
+
+def _table_metrics(
+    table: VoteTable, n_samples: int, blacklist: Blacklist, k: int
+) -> dict:
+    """Operating-curve summary of one fitted vote table."""
+    pairs = [(threshold, majority_vote(table, threshold)) for threshold in range(1, n_samples + 1)]
+    curve = curve_from_detections(
+        [(float(t), detection.user_labels.tolist()) for t, detection in pairs],
+        blacklist.labels,
+    )
+    best = best_f1(curve)
+    return {
+        "best_threshold": int(best.threshold) if best else 0,
+        "best_f1": round(best.f1, 6) if best else 0.0,
+        "precision": round(best.precision, 6) if best else 0.0,
+        "recall": round(best.recall, 6) if best else 0.0,
+        "n_detected": best.n_detected if best else 0,
+        "auc_pr": round(auc_pr(curve), 6),
+        "precision_at_k": round(precision_at_k(_ranked_by_votes(table), blacklist.labels, k), 6),
+    }
+
+
+def _run_ensemfdet(instance: ScenarioResult, config: ScenarioGridConfig) -> dict:
+    """Cold fit on the fully-accumulated attacked graph."""
+    result = EnsemFDet(config.ensemble_config()).fit(instance.dataset.graph)
+    metrics = _table_metrics(
+        result.vote_table, config.n_samples, instance.dataset.blacklist, config.precision_k
+    )
+    metrics["n_updates"] = 0
+    metrics["n_refreshed"] = 0
+    return metrics
+
+
+def _run_incremental(instance: ScenarioResult, config: ScenarioGridConfig) -> dict:
+    """Streaming path: fit on the background, one ``update()`` per attack batch."""
+    detector = IncrementalEnsemFDet(config.ensemble_config())
+    detector.fit(accumulate_batches(instance.batches[:1]))
+    refreshed = 0
+    for batch in instance.attack_batches:
+        report = detector.update(batch.users, batch.merchants, batch.weights)
+        refreshed += report.n_refreshed
+    metrics = _table_metrics(
+        detector.vote_table, config.n_samples, instance.dataset.blacklist, config.precision_k
+    )
+    metrics["n_updates"] = len(instance.attack_batches)
+    metrics["n_refreshed"] = refreshed
+    return metrics
+
+
+def _run_fraudar(instance: ScenarioResult, config: ScenarioGridConfig) -> dict:
+    """Multi-block Fraudar baseline, ranked by extraction order."""
+    result = FraudarDetector(n_blocks=config.max_blocks, engine=config.engine).detect(
+        instance.dataset.graph
+    )
+    blacklist = instance.dataset.blacklist
+    curve = curve_from_detections(
+        [
+            (float(n_blocks), labels.tolist())
+            for n_blocks, labels in result.cumulative_detections()
+        ],
+        blacklist.labels,
+    )
+    ranked: list[int] = []
+    seen: set[int] = set()
+    for block in result.blocks:
+        for label in block.user_labels.tolist():
+            if label not in seen:
+                seen.add(label)
+                ranked.append(label)
+    best = best_f1(curve)
+    return {
+        "best_threshold": int(best.threshold) if best else 0,
+        "best_f1": round(best.f1, 6) if best else 0.0,
+        "precision": round(best.precision, 6) if best else 0.0,
+        "recall": round(best.recall, 6) if best else 0.0,
+        "n_detected": best.n_detected if best else 0,
+        "auc_pr": round(auc_pr(curve), 6),
+        "precision_at_k": round(precision_at_k(ranked, blacklist.labels, config.precision_k), 6),
+        "n_updates": 0,
+        "n_refreshed": 0,
+    }
+
+
+_DETECTORS: dict[str, Callable[[ScenarioResult, ScenarioGridConfig], dict]] = {
+    "ensemfdet": _run_ensemfdet,
+    "incremental": _run_incremental,
+    "fraudar": _run_fraudar,
+}
+
+#: registered detector backends, in canonical order
+DETECTOR_NAMES: tuple[str, ...] = ("ensemfdet", "incremental", "fraudar")
+
+
+#: cells of these keys must agree between the cold and incremental backends
+_PARITY_KEYS = ("best_threshold", "best_f1", "precision", "recall", "n_detected", "auc_pr", "precision_at_k")
+
+
+def _check_ensemble_parity(cells: dict[str, dict]) -> None:
+    """The streaming path must reproduce the cold fit, cell for cell.
+
+    Both ensemble backends share one :class:`StableEdgeSampler` and seed,
+    so their vote tables are bit-identical by construction; a mismatch in
+    any metric means the incremental layer broke. Enforced live in every
+    grid that runs both backends, not just in the test suite.
+    """
+    if "ensemfdet" not in cells or "incremental" not in cells:
+        return
+    cold, warm = cells["ensemfdet"], cells["incremental"]
+    drifted = [key for key in _PARITY_KEYS if cold[key] != warm[key]]
+    if drifted:
+        raise ScenarioError(
+            f"incremental backend diverged from the cold fit on "
+            f"{cold['scenario']}@i{cold['intensity']:g} (keys: {', '.join(drifted)}) "
+            "— the incremental layer no longer reproduces EnsemFDet.fit"
+        )
+
+
+def evaluate_cell(
+    instance: ScenarioResult, detector: str, config: ScenarioGridConfig
+) -> dict:
+    """One grid cell: run ``detector`` on ``instance`` and summarise it."""
+    runner = _DETECTORS.get(detector)
+    if runner is None:
+        raise ScenarioError(
+            f"unknown detector {detector!r}; available: {', '.join(sorted(_DETECTORS))}"
+        )
+    with Timer() as timer:
+        metrics = runner(instance, config)
+    dataset = instance.dataset
+    return {
+        "scenario": instance.scenario,
+        "intensity": instance.intensity,
+        "detector": detector,
+        "n_users": dataset.graph.n_users,
+        "n_edges": dataset.graph.n_edges,
+        "n_fraud": int(instance.fraud_users.size),
+        "n_batches": len(instance.batches),
+        **metrics,
+        "wall_seconds": round(timer.elapsed, 3),
+    }
+
+
+def run_grid(
+    config: ScenarioGridConfig, outdir: str | None = None
+) -> "ExperimentResult":
+    """Sweep the full detector × scenario × intensity grid.
+
+    Every scenario instance is generated once and shared by all detectors
+    evaluated on it. With ``outdir``, ``scenario_grid.json`` and
+    ``scenario_grid.csv`` artifacts are written there.
+    """
+    # imported here, not at module level: the scn experiment driver imports
+    # this module, so a top-level import of the experiments package would
+    # cycle when repro.scenarios is imported first
+    from ..experiments.base import ExperimentResult
+
+    rows: list[dict] = []
+    for name in config.scenarios:
+        scenario: Scenario = make_scenario(name, **config.scenario_params.get(name, {}))
+        for intensity in config.intensities:
+            instance = scenario.generate(
+                intensity=intensity, scale=config.scale, seed=config.seed
+            )
+            cells = {
+                detector: evaluate_cell(instance, detector, config)
+                for detector in config.detectors
+            }
+            _check_ensemble_parity(cells)
+            rows.extend(cells.values())
+    result = ExperimentResult(
+        experiment="scenario_grid",
+        title="Adversarial-scenario robustness grid",
+        rows=rows,
+        meta={
+            "scenarios": list(config.scenarios),
+            "intensities": list(config.intensities),
+            "detectors": list(config.detectors),
+            "scale": config.scale,
+            "seed": config.seed,
+            "n_samples": config.n_samples,
+            "sample_ratio": config.sample_ratio,
+            "stripe": config.stripe,
+            "max_blocks": config.max_blocks,
+            "engine": config.engine,
+            "executor": config.executor,
+            "precision_k": config.precision_k,
+        },
+    )
+    if outdir is not None:
+        directory = Path(outdir)
+        directory.mkdir(parents=True, exist_ok=True)
+        result.to_json(directory / "scenario_grid.json")
+        result.to_csv(directory / "scenario_grid.csv")
+    return result

@@ -1,0 +1,65 @@
+"""Name-based construction of attack scenarios.
+
+Mirrors :mod:`repro.sampling.registry`: harness grids and the CLI refer to
+attack shapes by short names; this registry maps each name to its generator
+class and forwards shape parameters (``density=...``,
+``camouflage_ratio=...``) to the constructor.
+"""
+
+from __future__ import annotations
+
+from ..errors import ScenarioError
+from .base import Scenario
+from .generators import (
+    CamouflageScenario,
+    HijackedAccountsScenario,
+    NaiveBlockScenario,
+    SkewedTargetsScenario,
+    SprayScenario,
+    StagedCampaignScenario,
+)
+
+__all__ = ["SCENARIO_NAMES", "available_scenarios", "make_scenario", "scenario_descriptions"]
+
+_CLASSES: tuple[type[Scenario], ...] = (
+    NaiveBlockScenario,
+    CamouflageScenario,
+    HijackedAccountsScenario,
+    StagedCampaignScenario,
+    SprayScenario,
+    SkewedTargetsScenario,
+)
+
+_FACTORIES: dict[str, type[Scenario]] = {cls.name: cls for cls in _CLASSES}
+
+#: canonical registry order: paper's naive setting first, evasive shapes after
+SCENARIO_NAMES: tuple[str, ...] = tuple(cls.name for cls in _CLASSES)
+
+
+def available_scenarios() -> list[str]:
+    """All recognised scenario names, in canonical order."""
+    return list(SCENARIO_NAMES)
+
+
+def scenario_descriptions() -> dict[str, str]:
+    """``name -> one-line description`` for every registered scenario."""
+    return {cls.name: cls.description for cls in _CLASSES}
+
+
+def make_scenario(name: str, **params) -> Scenario:
+    """Instantiate a scenario by (case-insensitive) name.
+
+    ``params`` are forwarded to the generator's constructor (shape knobs
+    like ``density`` or ``n_waves``); unknown names and unknown parameters
+    both fail with a :class:`~repro.errors.ScenarioError` naming the
+    alternatives.
+    """
+    cls = _FACTORIES.get(name.lower())
+    if cls is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIO_NAMES)}"
+        )
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ScenarioError(f"bad parameters for scenario {name!r}: {exc}") from exc

@@ -30,6 +30,38 @@ class TestFraudBlockSpec:
         with pytest.raises(DatasetError):
             FraudBlockSpec(**kwargs)
 
+    def test_block_wider_than_item_universe_fails_fast(self):
+        """Regression: absurdly wide blocks used to pass validation and only
+        die deep inside edge generation on the Bernoulli-mask allocation;
+        now ``__post_init__`` rejects them with a clear error."""
+        with pytest.raises(DatasetError, match="wider than the supported item universe"):
+            FraudBlockSpec(n_users=2**16, n_merchants=2**16)
+
+    def test_max_cells_boundary_accepted(self):
+        from repro.datasets.injection import MAX_BLOCK_CELLS
+
+        spec = FraudBlockSpec(n_users=1, n_merchants=MAX_BLOCK_CELLS)
+        assert spec.n_merchants == MAX_BLOCK_CELLS
+        with pytest.raises(DatasetError):
+            FraudBlockSpec(n_users=2, n_merchants=MAX_BLOCK_CELLS)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 2.0, "n_merchants": 5},
+            {"n_users": 5, "n_merchants": "6"},
+            {"n_users": True, "n_merchants": 5},
+            {"n_users": 5, "n_merchants": 5, "camouflage_per_user": 1.5},
+        ],
+    )
+    def test_non_integer_sizes_rejected(self, kwargs):
+        with pytest.raises(DatasetError, match="must be an integer"):
+            FraudBlockSpec(**kwargs)
+
+    def test_numpy_integer_sizes_accepted(self):
+        spec = FraudBlockSpec(n_users=np.int64(4), n_merchants=np.int32(3))
+        assert spec.n_users == 4 and spec.n_merchants == 3
+
 
 class TestInjection:
     def test_new_users_appended(self, rng):

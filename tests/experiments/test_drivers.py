@@ -28,7 +28,7 @@ def results():
 class TestRegistry:
     def test_all_ids_registered(self):
         assert set(all_experiment_ids()) == set(EXPERIMENTS)
-        assert len(all_experiment_ids()) == 10
+        assert len(all_experiment_ids()) == 11
 
     def test_unknown_id(self):
         with pytest.raises(ExperimentError):
@@ -147,3 +147,23 @@ class TestFig9:
         recalls = [r["recall"] for r in rows]
         assert detected == sorted(detected, reverse=True)
         assert recalls == sorted(recalls, reverse=True)
+
+
+class TestScn:
+    def test_full_scenario_coverage(self, results):
+        from repro.scenarios import SCENARIO_NAMES
+
+        rows = results["scn"].rows
+        assert {row["scenario"] for row in rows} == set(SCENARIO_NAMES)
+        assert {row["detector"] for row in rows} == {"ensemfdet", "incremental"}
+
+    def test_metrics_bounded(self, results):
+        for row in results["scn"].rows:
+            assert 0.0 <= row["best_f1"] <= 1.0
+            assert 0.0 <= row["auc_pr"] <= 1.0
+            assert 0.0 <= row["precision_at_k"] <= 1.0
+
+    def test_grid_axes_in_meta(self, results):
+        meta = results["scn"].meta
+        assert meta["grid"]["detectors"] == ["ensemfdet", "incremental"]
+        assert meta["grid"]["intensities"] == [1.0]  # tiny preset collapses the sweep

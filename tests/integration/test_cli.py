@@ -195,3 +195,41 @@ class TestUpdateCommand:
         code = main(_watch_args(stream_file, state, ["--iterations", "1"]))
         assert code == 0
         assert "# update: +5 edges" in capsys.readouterr().out
+
+
+class TestScenarioCommand:
+    def test_list_prints_registry(self, capsys):
+        from repro.scenarios import SCENARIO_NAMES
+
+        code = main(["scenario", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in SCENARIO_NAMES:
+            assert name in out
+
+    def test_grid_runs_and_writes_artifacts(self, tmp_path, capsys):
+        code = main(
+            [
+                "scenario",
+                "--scenarios", "naive_block,staged",
+                "--intensities", "1.0",
+                "--detectors", "ensemfdet,incremental",
+                "--scale", "0.12",
+                "--samples", "6",
+                "--ratio", "0.4",
+                "--stripe", "32",
+                "--outdir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario_grid" in out
+        assert "naive_block" in out and "staged" in out
+        assert (tmp_path / "scenario_grid.json").exists()
+        assert (tmp_path / "scenario_grid.csv").exists()
+
+    def test_unknown_scenario_fails_loudly(self):
+        from repro.errors import ScenarioError
+
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            main(["scenario", "--scenarios", "bogus", "--intensities", "1.0"])

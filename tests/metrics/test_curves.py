@@ -14,6 +14,7 @@ from repro.metrics import (
     curve_from_detections,
     max_detected_gap,
     pr_curve_from_scores,
+    precision_at_k,
     precision_at_recall,
 )
 
@@ -135,3 +136,34 @@ def test_recall_monotone_as_threshold_loosens(data):
     points = pr_curve_from_scores(scores, truth)
     recalls = [p.recall for p in points]
     assert recalls == sorted(recalls)
+
+
+class TestPrecisionAtK:
+    def test_counts_hits_in_top_k(self):
+        ranked = [5, 3, 9, 1, 7]
+        assert precision_at_k(ranked, {5, 9}, 3) == pytest.approx(2 / 3)
+        assert precision_at_k(ranked, {5, 9}, 5) == pytest.approx(2 / 5)
+
+    def test_short_ranking_still_divides_by_k(self):
+        # standard definition: unranked slots count as misses, keeping the
+        # score comparable across detectors with different ranking lengths
+        assert precision_at_k([4, 2], {4}, 10) == pytest.approx(1 / 10)
+
+    def test_empty_ranking_scores_zero(self):
+        assert precision_at_k([], {1, 2}, 5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], {1}, 0)
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=40, unique=True),
+        st.sets(st.integers(0, 50), max_size=20),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_fraction(self, ranked, truth, k):
+        value = precision_at_k(ranked, truth, k)
+        assert 0.0 <= value <= 1.0
+        hits = sum(1 for label in ranked[:k] if label in truth)
+        assert value == pytest.approx(hits / k)

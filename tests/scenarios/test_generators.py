@@ -1,0 +1,151 @@
+"""Unit tests for the scenario registry and individual generator shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    BatchKind,
+    CamouflageScenario,
+    SCENARIO_NAMES,
+    StagedCampaignScenario,
+    available_scenarios,
+    make_scenario,
+    scenario_descriptions,
+)
+
+
+class TestRegistry:
+    def test_at_least_five_scenarios(self):
+        assert len(SCENARIO_NAMES) >= 5
+
+    def test_available_matches_canonical(self):
+        assert available_scenarios() == list(SCENARIO_NAMES)
+
+    def test_every_scenario_described(self):
+        descriptions = scenario_descriptions()
+        assert set(descriptions) == set(SCENARIO_NAMES)
+        assert all(descriptions.values())
+
+    def test_names_resolve_case_insensitively(self):
+        scenario = make_scenario("Camouflage")
+        assert isinstance(scenario, CamouflageScenario)
+
+    def test_unknown_name(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            make_scenario("fortress")
+
+    def test_parameters_forwarded(self):
+        scenario = make_scenario("staged", n_waves=7, density=0.9)
+        assert isinstance(scenario, StagedCampaignScenario)
+        assert scenario.n_waves == 7
+        assert scenario.density == pytest.approx(0.9)
+
+    def test_unknown_parameters_rejected(self):
+        with pytest.raises(ScenarioError, match="bad parameters"):
+            make_scenario("naive_block", burliness=3)
+
+
+class TestGeneratorValidation:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_bad_intensity_and_scale(self, name):
+        scenario = make_scenario(name)
+        with pytest.raises(ScenarioError):
+            scenario.generate(intensity=0.0)
+        with pytest.raises(ScenarioError):
+            scenario.generate(scale=-1.0)
+
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("naive_block", {"density": 0.0}),
+            ("naive_block", {"block_merchants": 0}),
+            ("camouflage", {"camouflage_ratio": -0.5}),
+            ("staged", {"n_waves": 0}),
+            ("spray", {"purchases_per_user": 0}),
+            ("skewed_targets", {"density": 1.5}),
+        ],
+    )
+    def test_bad_shape_parameters(self, name, kwargs):
+        with pytest.raises(ScenarioError):
+            make_scenario(name, **kwargs)
+
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("staged", {"n_waves": 2.9}),
+            ("naive_block", {"block_merchants": 10.7}),
+            ("spray", {"purchases_per_user": 1.9}),
+            ("hijacked", {"block_merchants": True}),
+        ],
+    )
+    def test_non_integer_shape_parameters_rejected(self, name, kwargs):
+        """No silent int() truncation — a 2.9-wave sweep must not quietly
+        run 2 waves (mirrors FraudBlockSpec's strictness)."""
+        with pytest.raises(ScenarioError, match="must be an integer"):
+            make_scenario(name, **kwargs)
+
+
+class TestGeneratedShapes:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_dataset_provenance(self, name):
+        result = make_scenario(name).generate(intensity=1.0, scale=0.1, seed=5)
+        params = result.dataset.params
+        assert params["scenario"] == name
+        assert params["seed"] == 5
+        assert params["n_fraud_users"] == result.fraud_users.size
+        assert result.dataset.name.startswith(name)
+
+    def test_naive_block_attacks_only_new_nodes(self):
+        result = make_scenario("naive_block").generate(scale=0.1, seed=1)
+        params = result.dataset.params
+        (attack,) = result.attack_batches
+        assert (attack.users >= params["n_background_users"]).all()
+        assert (attack.merchants >= params["n_background_merchants"]).all()
+
+    def test_camouflage_intensity_zero_ratio_degenerates_to_naive(self):
+        result = make_scenario("camouflage", camouflage_ratio=0.0).generate(scale=0.1, seed=1)
+        params = result.dataset.params
+        assert params["n_camouflage_edges"] == 0
+        (attack,) = result.attack_batches
+        assert (attack.merchants >= params["n_background_merchants"]).all()
+
+    def test_staged_single_wave_is_one_batch(self):
+        result = make_scenario("staged", n_waves=1).generate(scale=0.1, seed=2)
+        assert result.batch_kinds == (BatchKind.BACKGROUND, BatchKind.WAVE)
+
+    def test_skewed_targets_are_highest_degree(self):
+        result = make_scenario("skewed_targets", block_merchants=4).generate(
+            scale=0.1, seed=3
+        )
+        background = result.background
+        degrees = np.bincount(
+            background.merchants, minlength=result.dataset.params["n_background_merchants"]
+        )
+        declared = [int(m) for m in result.dataset.params["target_merchants"].split(",")]
+        floor = min(degrees[m] for m in declared)
+        others = [d for m, d in enumerate(degrees) if m not in declared]
+        # targets are the top-degree hubs: nothing outside them beats the floor
+        assert max(others, default=0) <= floor
+
+    def test_hijacked_caps_at_available_accounts(self):
+        # extreme intensity cannot hijack more accounts than exist
+        result = make_scenario("hijacked").generate(intensity=100.0, scale=0.05, seed=4)
+        background_users = np.unique(result.background.users)
+        assert result.fraud_users.size <= background_users.size
+
+    def test_absurd_intensity_fails_fast_not_oom(self):
+        """Regression: a runaway intensity must raise a clear ScenarioError
+        before the Bernoulli-mask allocation, not MemoryError inside numpy."""
+        with pytest.raises(ScenarioError, match="candidate edges"):
+            make_scenario("naive_block").generate(intensity=1e7, scale=0.1, seed=0)
+
+    def test_batches_are_int64_and_unweighted(self):
+        for name in SCENARIO_NAMES:
+            result = make_scenario(name).generate(scale=0.08, seed=6)
+            for batch in result.batches:
+                assert batch.users.dtype == np.int64
+                assert batch.merchants.dtype == np.int64
+                assert batch.weights is None

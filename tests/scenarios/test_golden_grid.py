@@ -1,0 +1,63 @@
+"""Golden end-to-end regression fixture for the scenario grid.
+
+One small scenario grid is run end to end (generation → ensemble fits →
+incremental replay → metrics) and compared *exactly* against the committed
+``golden/scenario_grid.json``. Any change to detector behaviour — sampling,
+peeling, voting, metric arithmetic, scenario generation — shows up here as
+a diff, in tier-1, before it lands.
+
+To intentionally re-baseline after a behaviour change::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/scenarios/test_golden_grid.py
+
+then review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.scenarios import ScenarioGridConfig, run_grid
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "scenario_grid.json"
+
+#: the pinned grid — small, serial, fully deterministic
+GOLDEN_CONFIG = ScenarioGridConfig(
+    scenarios=("naive_block", "camouflage", "staged"),
+    intensities=(1.0,),
+    detectors=("ensemfdet", "incremental"),
+    scale=0.15,
+    seed=7,
+    n_samples=8,
+    sample_ratio=0.4,
+    stripe=32,
+    max_blocks=8,
+    executor="serial",
+    precision_k=20,
+)
+
+#: timing is the one legitimately machine-dependent column
+_VOLATILE = ("wall_seconds",)
+
+
+def _golden_rows() -> list[dict]:
+    rows = [dict(row) for row in run_grid(GOLDEN_CONFIG).rows]
+    for row in rows:
+        for key in _VOLATILE:
+            row.pop(key, None)
+    return rows
+
+
+def test_scenario_grid_matches_golden_fixture():
+    rows = _golden_rows()
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+    expected = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert rows == expected, (
+        "scenario grid drifted from the golden fixture; if the behaviour "
+        "change is intentional, re-baseline with REGEN_GOLDEN=1 and review "
+        "the JSON diff"
+    )

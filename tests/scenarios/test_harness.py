@@ -1,0 +1,183 @@
+"""Tests for the scenario evaluation harness (grid sweep + artifacts)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    DETECTOR_NAMES,
+    ScenarioGridConfig,
+    evaluate_cell,
+    make_scenario,
+    run_grid,
+)
+
+TINY = dict(scale=0.12, n_samples=8, sample_ratio=0.4, stripe=32, max_blocks=8)
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    config = ScenarioGridConfig(
+        scenarios=("naive_block", "staged"),
+        intensities=(1.0,),
+        detectors=("ensemfdet", "incremental"),
+        **TINY,
+    )
+    return run_grid(config)
+
+
+class TestConfigValidation:
+    def test_unknown_scenario(self):
+        with pytest.raises(ScenarioError, match="unknown scenarios"):
+            ScenarioGridConfig(scenarios=("naive_block", "bogus"))
+
+    def test_unknown_detector(self):
+        with pytest.raises(ScenarioError, match="unknown detectors"):
+            ScenarioGridConfig(detectors=("ensemfdet", "oracle"))
+
+    def test_bad_intensity(self):
+        with pytest.raises(ScenarioError, match="intensities"):
+            ScenarioGridConfig(intensities=(1.0, -0.5))
+
+    def test_empty_axes(self):
+        with pytest.raises(ScenarioError):
+            ScenarioGridConfig(scenarios=())
+        with pytest.raises(ScenarioError):
+            ScenarioGridConfig(intensities=())
+        with pytest.raises(ScenarioError):
+            ScenarioGridConfig(detectors=())
+
+    def test_bad_precision_k(self):
+        with pytest.raises(ScenarioError, match="precision_k"):
+            ScenarioGridConfig(precision_k=0)
+
+    def test_stray_scenario_params(self):
+        with pytest.raises(ScenarioError, match="scenario_params"):
+            ScenarioGridConfig(
+                scenarios=("naive_block",), scenario_params={"camouflage": {}}
+            )
+
+    def test_detector_names_are_registered(self):
+        config = ScenarioGridConfig(detectors=DETECTOR_NAMES)
+        assert config.detectors == DETECTOR_NAMES
+
+
+class TestGrid:
+    def test_one_row_per_cell(self, grid_result):
+        assert len(grid_result.rows) == 2 * 1 * 2
+        keys = {(row["scenario"], row["intensity"], row["detector"]) for row in grid_result.rows}
+        assert len(keys) == len(grid_result.rows)
+
+    def test_rows_carry_metrics(self, grid_result):
+        for row in grid_result.rows:
+            for key in ("best_f1", "auc_pr", "precision_at_k", "precision", "recall"):
+                assert 0.0 <= row[key] <= 1.0
+            assert row["best_threshold"] >= 0
+            assert row["n_fraud"] > 0
+            assert row["wall_seconds"] >= 0.0
+
+    def test_cold_and_incremental_agree_bitwise(self, grid_result):
+        """Shared sampler+seed ⇒ the streaming path must reproduce the cold
+        fit's vote table, hence identical metrics in every cell."""
+        cells: dict = {}
+        for row in grid_result.rows:
+            cells.setdefault((row["scenario"], row["intensity"]), {})[row["detector"]] = row
+        for pair in cells.values():
+            cold, warm = pair["ensemfdet"], pair["incremental"]
+            for key in ("best_f1", "best_threshold", "auc_pr", "precision_at_k", "n_detected"):
+                assert cold[key] == warm[key]
+
+    def test_incremental_rows_report_refresh_work(self, grid_result):
+        staged = [
+            row
+            for row in grid_result.rows
+            if row["scenario"] == "staged" and row["detector"] == "incremental"
+        ]
+        assert staged
+        for row in staged:
+            assert row["n_updates"] == row["n_batches"] - 1 >= 1
+            assert row["n_refreshed"] >= 1
+
+    def test_meta_records_grid_axes(self, grid_result):
+        meta = grid_result.meta
+        assert meta["scenarios"] == ["naive_block", "staged"]
+        assert meta["detectors"] == ["ensemfdet", "incremental"]
+        assert meta["n_samples"] == TINY["n_samples"]
+
+
+class TestFraudarBackend:
+    def test_fraudar_runs(self):
+        config = ScenarioGridConfig(
+            scenarios=("naive_block",), intensities=(1.0,), detectors=("fraudar",), **TINY
+        )
+        rows = run_grid(config).rows
+        assert len(rows) == 1
+        assert rows[0]["detector"] == "fraudar"
+        assert 0.0 <= rows[0]["best_f1"] <= 1.0
+        assert rows[0]["n_updates"] == 0
+
+
+class TestEvaluateCell:
+    def test_unknown_detector(self):
+        config = ScenarioGridConfig(scenarios=("naive_block",), intensities=(1.0,), **TINY)
+        instance = make_scenario("naive_block").generate(scale=0.1, seed=0)
+        with pytest.raises(ScenarioError, match="unknown detector"):
+            evaluate_cell(instance, "oracle", config)
+
+
+class TestArtifacts:
+    def test_grid_writes_json_and_csv(self, tmp_path):
+        config = ScenarioGridConfig(
+            scenarios=("spray",), intensities=(1.0,), detectors=("ensemfdet",), **TINY
+        )
+        result = run_grid(config, outdir=tmp_path)
+        payload = json.loads((tmp_path / "scenario_grid.json").read_text())
+        assert payload["experiment"] == "scenario_grid"
+        assert payload["rows"] == result.rows
+        assert payload["meta"]["scenarios"] == ["spray"]
+        csv_text = (tmp_path / "scenario_grid.csv").read_text()
+        assert csv_text.splitlines()[0].startswith("scenario,intensity,detector")
+
+    def test_scenario_params_reach_generator(self):
+        config = ScenarioGridConfig(
+            scenarios=("camouflage",),
+            intensities=(1.0,),
+            detectors=("ensemfdet",),
+            scenario_params={"camouflage": {"camouflage_ratio": 0.0}},
+            **TINY,
+        )
+        rows = run_grid(config).rows
+        assert len(rows) == 1
+
+    def test_mixed_case_names_normalise(self):
+        """Scenario spellings are case-insensitive everywhere, including the
+        scenario_params stray-check and run_grid's params lookup."""
+        config = ScenarioGridConfig(
+            scenarios=("Camouflage",),
+            intensities=(1.0,),
+            detectors=("ensemfdet",),
+            scenario_params={"CAMOUFLAGE": {"camouflage_ratio": 0.0}},
+            **TINY,
+        )
+        assert config.scenarios == ("camouflage",)
+        assert "camouflage" in config.scenario_params
+        rows = run_grid(config).rows
+        assert rows[0]["scenario"] == "camouflage"
+
+
+class TestEnsembleParityGuard:
+    def test_divergence_raises(self):
+        from repro.scenarios.harness import _check_ensemble_parity
+
+        cold = {"scenario": "naive_block", "intensity": 1.0, "detector": "ensemfdet",
+                "best_threshold": 3, "best_f1": 0.5, "precision": 0.5, "recall": 0.5,
+                "n_detected": 4, "auc_pr": 0.4, "precision_at_k": 0.2}
+        warm = dict(cold, detector="incremental", best_f1=0.25)
+        with pytest.raises(ScenarioError, match="diverged from the cold fit"):
+            _check_ensemble_parity({"ensemfdet": cold, "incremental": warm})
+        # identical cells (or a missing backend) pass silently
+        _check_ensemble_parity({"ensemfdet": cold, "incremental": dict(cold)})
+        _check_ensemble_parity({"ensemfdet": cold})

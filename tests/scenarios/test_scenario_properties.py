@@ -1,0 +1,189 @@
+"""Property-based tests for every registered attack-scenario generator.
+
+Four families of invariants, each checked across random seeds and
+intensities for *all* registry entries:
+
+* **label consistency** — the blacklist is exactly the planted fraud
+  users, every fraud user actually attacks, and ground truth lives inside
+  the generated graph;
+* **determinism** — the same ``(intensity, scale, seed)`` triple
+  reproduces the instance batch-for-batch, bitwise;
+* **replay-stream equivalence** — accumulating the ordered batches
+  reproduces the dataset graph bitwise (the property the streaming path
+  relies on);
+* **shape invariants** — the camouflage-edge accounting and the staged
+  wave schedule match the generator's declared parameters exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    BatchKind,
+    SCENARIO_NAMES,
+    accumulate_batches,
+    make_scenario,
+)
+
+#: small world keeps each generated example ~milliseconds
+SCALE = 0.08
+
+seeds = st.integers(min_value=0, max_value=2**16)
+intensities = st.sampled_from([0.5, 1.0, 1.7])
+names = st.sampled_from(SCENARIO_NAMES)
+
+
+@given(name=names, seed=seeds, intensity=intensities)
+@settings(max_examples=60, deadline=None)
+def test_label_consistency(name, seed, intensity):
+    """Exactly the injected users are flagged — no more, no less."""
+    result = make_scenario(name).generate(intensity=intensity, scale=SCALE, seed=seed)
+    fraud = set(result.fraud_users.tolist())
+    assert fraud, "every scenario must plant at least one fraud user"
+    assert set(result.dataset.blacklist.labels) == fraud
+    assert set(result.dataset.clean_fraud_labels.tolist()) == fraud
+    # ground truth exists in the graph
+    graph_users = set(result.dataset.graph.user_labels.tolist())
+    assert fraud <= graph_users
+    # every fraud user makes at least one attack purchase
+    attackers = set()
+    for batch in result.attack_batches:
+        attackers.update(batch.users.tolist())
+    assert fraud == attackers
+
+
+@given(name=names, seed=seeds, intensity=intensities)
+@settings(max_examples=40, deadline=None)
+def test_deterministic_under_fixed_seed(name, seed, intensity):
+    first = make_scenario(name).generate(intensity=intensity, scale=SCALE, seed=seed)
+    second = make_scenario(name).generate(intensity=intensity, scale=SCALE, seed=seed)
+    assert first.dataset.graph == second.dataset.graph
+    assert first.batch_kinds == second.batch_kinds
+    assert len(first.batches) == len(second.batches)
+    for a, b in zip(first.batches, second.batches):
+        assert np.array_equal(a.users, b.users)
+        assert np.array_equal(a.merchants, b.merchants)
+        assert a.weights is None and b.weights is None
+    assert np.array_equal(first.fraud_users, second.fraud_users)
+    assert first.dataset.params == second.dataset.params
+
+
+@given(name=names, seed=seeds, intensity=intensities)
+@settings(max_examples=40, deadline=None)
+def test_replay_stream_reproduces_graph_bitwise(name, seed, intensity):
+    """Accumulating the ordered batches rebuilds the dataset graph exactly."""
+    result = make_scenario(name).generate(intensity=intensity, scale=SCALE, seed=seed)
+    replayed = accumulate_batches(result.batches)
+    graph = result.dataset.graph
+    assert replayed == graph  # structural equality: sizes, edges, weights, labels
+    assert np.array_equal(replayed.edge_users, graph.edge_users)
+    assert np.array_equal(replayed.edge_merchants, graph.edge_merchants)
+    assert np.array_equal(replayed.user_labels, graph.user_labels)
+    assert np.array_equal(replayed.merchant_labels, graph.merchant_labels)
+
+
+@given(name=names, seed=seeds, intensity=intensities)
+@settings(max_examples=40, deadline=None)
+def test_stream_shape(name, seed, intensity):
+    """Batch 0 is the background; attack batches are non-empty and typed."""
+    result = make_scenario(name).generate(intensity=intensity, scale=SCALE, seed=seed)
+    assert result.batch_kinds[0] == BatchKind.BACKGROUND
+    assert len(result.batches) == len(result.batch_kinds) >= 2
+    assert result.batches[0].n_edges > 0
+    for batch, kind in zip(result.attack_batches, result.batch_kinds[1:]):
+        assert kind in (BatchKind.ATTACK, BatchKind.WAVE)
+        assert batch.n_edges > 0
+    assert result.dataset.params["n_batches"] == len(result.batches)
+
+
+@given(
+    seed=seeds,
+    intensity=intensities,
+    ratio=st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_camouflage_ratio_invariant(seed, intensity, ratio):
+    """Camouflage-edge accounting is exact: round(ratio × block edges),
+    aimed only at background merchants, dealt over all fraud users."""
+    scenario = make_scenario("camouflage", camouflage_ratio=ratio)
+    result = scenario.generate(intensity=intensity, scale=SCALE, seed=seed)
+    params = result.dataset.params
+    n_background_merchants = params["n_background_merchants"]
+    (attack,) = result.attack_batches
+    camouflage_mask = attack.merchants < n_background_merchants
+    assert int(camouflage_mask.sum()) == params["n_camouflage_edges"]
+    assert params["n_camouflage_edges"] == int(round(ratio * params["n_block_edges"]))
+    assert params["n_block_edges"] + params["n_camouflage_edges"] == attack.n_edges
+    # block edges target only brand-new merchants
+    assert (attack.merchants[~camouflage_mask] >= n_background_merchants).all()
+    if ratio >= 1.0:
+        # enough camouflage to cover everyone: every fraud user gets some
+        camo_users = set(attack.users[camouflage_mask].tolist())
+        assert camo_users == set(result.fraud_users.tolist())
+
+
+@given(seed=seeds, intensity=intensities, n_waves=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_burst_schedule_invariant(seed, intensity, n_waves):
+    """Staged campaigns emit exactly the declared waves, in cohort order,
+    with disjoint user cohorts covering the fraud set."""
+    scenario = make_scenario("staged", n_waves=n_waves)
+    result = scenario.generate(intensity=intensity, scale=SCALE, seed=seed)
+    realised = result.dataset.params["n_waves"]
+    assert realised == min(n_waves, int(result.fraud_users.size))
+    assert result.n_waves == realised
+    assert result.batch_kinds == (BatchKind.BACKGROUND,) + (BatchKind.WAVE,) * realised
+
+    cohorts = [set(batch.users.tolist()) for batch in result.attack_batches]
+    assert all(cohorts)
+    for earlier, later in zip(cohorts, cohorts[1:]):
+        assert not earlier & later, "wave cohorts must be disjoint"
+        assert max(earlier) < min(later), "waves arrive in cohort order"
+    union = set().union(*cohorts)
+    assert union == set(result.fraud_users.tolist())
+
+
+@given(seed=seeds, intensity=intensities)
+@settings(max_examples=30, deadline=None)
+def test_hijacked_users_have_honest_history(seed, intensity):
+    result = make_scenario("hijacked").generate(intensity=intensity, scale=SCALE, seed=seed)
+    background_users = set(result.background.users.tolist())
+    assert set(result.fraud_users.tolist()) <= background_users
+
+
+@given(seed=seeds, intensity=intensities)
+@settings(max_examples=30, deadline=None)
+def test_spray_targets_only_honest_merchants(seed, intensity):
+    result = make_scenario("spray").generate(intensity=intensity, scale=SCALE, seed=seed)
+    n_background_merchants = result.dataset.params["n_background_merchants"]
+    (attack,) = result.attack_batches
+    assert (attack.merchants < n_background_merchants).all()
+    per_user = result.dataset.params["purchases_per_user"]
+    assert attack.n_edges == per_user * result.fraud_users.size
+
+
+@given(seed=seeds, intensity=intensities)
+@settings(max_examples=30, deadline=None)
+def test_skewed_targets_hit_top_hubs(seed, intensity):
+    result = make_scenario("skewed_targets").generate(
+        intensity=intensity, scale=SCALE, seed=seed
+    )
+    n_background_merchants = result.dataset.params["n_background_merchants"]
+    (attack,) = result.attack_batches
+    targets = np.unique(attack.merchants)
+    assert (targets < n_background_merchants).all(), "no new merchants appear"
+    declared = [int(m) for m in result.dataset.params["target_merchants"].split(",")]
+    assert set(targets.tolist()) <= set(declared)
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_intensity_scales_campaign_size(name):
+    """Higher intensity ⇒ at least as many fraud users (same world size)."""
+    weak = make_scenario(name).generate(intensity=0.5, scale=0.15, seed=0)
+    strong = make_scenario(name).generate(intensity=3.0, scale=0.15, seed=0)
+    assert strong.fraud_users.size >= weak.fraud_users.size
+    assert strong.fraud_users.size > 3
