@@ -14,7 +14,7 @@ import pytest
 
 from repro.datasets import FraudBlockSpec, chung_lu_bipartite, inject_fraud_blocks
 from repro.fdet import AverageDegreeDensity, Fdet, FdetConfig, LogWeightedDensity
-from repro.metrics import evaluate_detection
+from repro.metrics import detection_confusion
 
 CAMOUFLAGE_LEVELS = [0, 2, 5]
 N_BLOCKS = 4  # planted blocks per graph
@@ -45,7 +45,7 @@ def test_log_weighted_under_camouflage(benchmark, camouflage):
     result = benchmark.pedantic(detector.detect, args=(injection.graph,), rounds=1, iterations=1)
     # evaluate at the planted block count (k=4) to isolate the metric's
     # camouflage resistance from truncation noise on this synthetic series
-    confusion = evaluate_detection(result.detected_users(k=N_BLOCKS), injection.blacklist)
+    confusion = detection_confusion(result.detected_users(k=N_BLOCKS), injection.blacklist)
     assert confusion.f1 > 0.5, (camouflage, confusion.as_row())
     print()
     print(f"camouflage={camouflage}: F1={confusion.f1:.3f} "
@@ -58,7 +58,7 @@ def test_camouflage_degradation_is_mild():
         injection = build(camouflage)
         detector = Fdet(FdetConfig(metric=LogWeightedDensity(), max_blocks=10))
         result = detector.detect(injection.graph)
-        f1[camouflage] = evaluate_detection(
+        f1[camouflage] = detection_confusion(
             result.detected_users(k=N_BLOCKS), injection.blacklist
         ).f1
     worst, best = min(f1.values()), max(f1.values())
@@ -72,10 +72,10 @@ def test_average_degree_objective_is_the_weaker_control():
     injection = build(5)
     log_detector = Fdet(FdetConfig(metric=LogWeightedDensity(), max_blocks=10))
     avg_detector = Fdet(FdetConfig(metric=AverageDegreeDensity(), max_blocks=10))
-    log_f1 = evaluate_detection(
+    log_f1 = detection_confusion(
         log_detector.detect(injection.graph).detected_users(k=N_BLOCKS), injection.blacklist
     ).f1
-    avg_f1 = evaluate_detection(
+    avg_f1 = detection_confusion(
         avg_detector.detect(injection.graph).detected_users(k=N_BLOCKS), injection.blacklist
     ).f1
     # the log-weighted objective must not lose to the undiscounted control

@@ -12,7 +12,7 @@ import pytest
 
 from repro.datasets import make_jd_dataset
 from repro.fdet import Fdet, FdetConfig, WeightPolicy
-from repro.metrics import evaluate_detection
+from repro.metrics import detection_confusion
 from repro.parallel import time_callable
 
 
@@ -26,7 +26,7 @@ def test_weight_policy(benchmark, dataset, preset, policy):
     detector = Fdet(FdetConfig(max_blocks=preset.max_blocks, weight_policy=policy))
     result = benchmark.pedantic(detector.detect, args=(dataset.graph,), rounds=1, iterations=1)
 
-    confusion = evaluate_detection(result.detected_users(), dataset.blacklist)
+    confusion = detection_confusion(result.detected_users(), dataset.blacklist)
     # either policy must land detections far above chance
     chance = len(dataset.blacklist) / dataset.graph.n_users
     assert confusion.precision > 3 * chance, (policy, confusion.as_row())
@@ -41,6 +41,6 @@ def test_policies_land_in_same_band(dataset, preset):
     for policy in WeightPolicy.ALL:
         detector = Fdet(FdetConfig(max_blocks=preset.max_blocks, weight_policy=policy))
         timing = time_callable(detector.detect, dataset.graph)
-        confusion = evaluate_detection(timing.value.detected_users(), dataset.blacklist)
+        confusion = detection_confusion(timing.value.detected_users(), dataset.blacklist)
         scores[policy] = confusion.f1
     assert abs(scores[WeightPolicy.REFRESH] - scores[WeightPolicy.FROZEN]) < 0.25, scores

@@ -16,6 +16,15 @@ Quickstart::
 """
 
 from .baselines import DegreeDetector, FBoxDetector, FraudarDetector, SpokenDetector
+from .detectors import (
+    DETECTOR_NAMES,
+    Detection,
+    Detector,
+    DetectorContext,
+    available_detectors,
+    canonical_detector_spec,
+    make_detector,
+)
 from .datasets import (
     Blacklist,
     Dataset,
@@ -52,7 +61,10 @@ from .metrics import (
     auc_pr,
     best_f1,
     confusion_from_sets,
+    detection_confusion,
+    detection_curve,
     ensemble_threshold_curve,
+    evaluate_detection,
     fraudar_block_curve,
     max_detected_gap,
     score_curve,
@@ -110,6 +122,14 @@ __all__ = [
     "SpokenDetector",
     "FBoxDetector",
     "DegreeDetector",
+    # detector layer
+    "Detection",
+    "Detector",
+    "DetectorContext",
+    "DETECTOR_NAMES",
+    "available_detectors",
+    "canonical_detector_spec",
+    "make_detector",
     # datasets
     "Dataset",
     "Blacklist",
@@ -123,6 +143,9 @@ __all__ = [
     "Confusion",
     "confusion_from_sets",
     "CurvePoint",
+    "detection_confusion",
+    "detection_curve",
+    "evaluate_detection",
     "ensemble_threshold_curve",
     "fraudar_block_curve",
     "score_curve",

@@ -28,7 +28,13 @@ class DegreeDetector:
         return graph.user_degrees().astype(np.float64)
 
     def top_users(self, graph: BipartiteGraph, n: int) -> np.ndarray:
-        """Local indices of the ``n`` busiest users."""
+        """Local indices of the ``n`` busiest users.
+
+        Sorted on the explicit key ``(-score, node index)``: equal-degree
+        users always rank in ascending index order, independent of the
+        sort algorithm numpy happens to use for plain ``argsort``.
+        """
         scores = self.score_users(graph)
         n = min(n, scores.size)
-        return np.argsort(-scores, kind="stable")[:n]
+        order = np.lexsort((np.arange(scores.size), -scores))
+        return order[:n]

@@ -23,6 +23,7 @@ import scipy.sparse.linalg
 
 from ..errors import DetectionError
 from ..graph import BipartiteGraph, to_scipy
+from .spoken import clamp_svd_rank, svd_start_vector
 
 __all__ = ["FBoxDetector", "FBoxScores"]
 
@@ -35,12 +36,14 @@ class FBoxScores:
     reconstructed norm among users of similar degree)`` — higher means the
     spectrum explains the user's behaviour *worse*, i.e. more suspicious.
     Users below ``min_degree`` score 0 (FBox does not judge near-silent
-    accounts).
+    accounts). ``n_components`` is the rank actually used, after clamping
+    to what the matrix supports.
     """
 
     user_scores: np.ndarray
     reconstructed_norms: np.ndarray
     degrees: np.ndarray
+    n_components: int = 0
 
 
 class FBoxDetector:
@@ -78,9 +81,8 @@ class FBoxDetector:
         if graph.n_users < 2 or graph.n_merchants < 2:
             raise DetectionError("FBox needs at least a 2x2 adjacency matrix")
         matrix = to_scipy(graph, binary=True).astype(np.float64)
-        max_rank = min(matrix.shape) - 1
-        k = max(1, min(self.n_components, max_rank))
-        u, s, _ = scipy.sparse.linalg.svds(matrix, k=k)
+        k = clamp_svd_rank("fbox", self.n_components, matrix.shape)
+        u, s, _ = scipy.sparse.linalg.svds(matrix, k=k, v0=svd_start_vector(matrix.shape))
         # ‖row_i reconstruction‖₂ = ‖U[i, :] · diag(σ)‖₂
         reconstructed = np.linalg.norm(u * s[np.newaxis, :], axis=1)
         degrees = graph.user_degrees().astype(np.float64)
@@ -112,7 +114,10 @@ class FBoxDetector:
                     ranks[:] = 1.0  # a singleton bucket cannot look anomalous
                 scores[members] = 1.0 - ranks
         return FBoxScores(
-            user_scores=scores, reconstructed_norms=reconstructed, degrees=degrees
+            user_scores=scores,
+            reconstructed_norms=reconstructed,
+            degrees=degrees,
+            n_components=int(s.size),
         )
 
     def score_users(self, graph: BipartiteGraph) -> np.ndarray:

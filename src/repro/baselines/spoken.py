@@ -21,8 +21,45 @@ import scipy.sparse.linalg
 
 from ..errors import DetectionError
 from ..graph import BipartiteGraph, to_scipy
+from ..logging_utils import get_logger
 
-__all__ = ["SpokenDetector", "SpokenScores"]
+__all__ = ["SpokenDetector", "SpokenScores", "clamp_svd_rank", "svd_start_vector"]
+
+_LOG = get_logger("baselines")
+
+
+def clamp_svd_rank(name: str, n_components: int, shape: tuple[int, int]) -> int:
+    """The largest usable truncated-SVD rank for an ``m × n`` matrix.
+
+    ``scipy.sparse.linalg.svds`` requires ``k < min(shape)``; asking for
+    ``n_components >= min(n_users, n_merchants)`` (easy on tiny graphs)
+    would otherwise die inside ARPACK. The clamp is logged so silent
+    rank reductions do not masquerade as the configured setting.
+    """
+    max_rank = max(1, min(shape) - 1)
+    if n_components > max_rank:
+        _LOG.warning(
+            "%s: clamping n_components from %d to %d for a %dx%d adjacency matrix",
+            name,
+            n_components,
+            max_rank,
+            shape[0],
+            shape[1],
+        )
+        return max_rank
+    return n_components
+
+
+def svd_start_vector(shape: tuple[int, int]) -> np.ndarray:
+    """A fixed ARPACK starting vector for reproducible truncated SVDs.
+
+    ``scipy.sparse.linalg.svds`` seeds its iteration with a *random*
+    vector by default, which makes the spectral baselines wiggle in the
+    last few ULPs from run to run — enough to break bitwise-regression
+    fixtures. A fixed (but generic, non-degenerate) starting vector makes
+    the whole detector layer reproducible.
+    """
+    return np.random.default_rng(0).random(min(shape))
 
 
 @dataclass(frozen=True)
@@ -57,9 +94,8 @@ class SpokenDetector:
 
     def _svd(self, graph: BipartiteGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         matrix = to_scipy(graph, binary=True).astype(np.float64)
-        max_rank = min(matrix.shape) - 1
-        k = max(1, min(self.n_components, max_rank))
-        u, s, vt = scipy.sparse.linalg.svds(matrix, k=k)
+        k = clamp_svd_rank("spoken", self.n_components, matrix.shape)
+        u, s, vt = scipy.sparse.linalg.svds(matrix, k=k, v0=svd_start_vector(matrix.shape))
         order = np.argsort(-s)
         return u[:, order], s[order], vt[order, :]
 

@@ -1,0 +1,67 @@
+"""Unified detector layer: one protocol, one result type, one registry."""
+
+from .base import Detection, Detector, StreamingDetector
+from .blocks import FdetBlockDetector, FraudarBlockDetector, detection_from_blocks
+from .ensemble import EnsembleDetector, IncrementalDetector, detection_from_votes
+from .registry import (
+    DETECTOR_NAMES,
+    DetectorInfo,
+    available_detectors,
+    canonical_detector_spec,
+    detector_descriptions,
+    detector_info,
+    make_detector,
+    parse_detector_spec,
+    register_detector,
+    split_detector_specs,
+)
+from .scores import DegreeScoreDetector, FBoxScoreDetector, SpokenScoreDetector
+from .specs import (
+    DegreeSpec,
+    DetectorContext,
+    DetectorSpec,
+    EnsembleSpec,
+    FBoxSpec,
+    FdetSpec,
+    FraudarSpec,
+    IncrementalSpec,
+    SpokenSpec,
+)
+
+__all__ = [
+    # protocol + result
+    "Detection",
+    "Detector",
+    "StreamingDetector",
+    # registry
+    "DETECTOR_NAMES",
+    "DetectorInfo",
+    "available_detectors",
+    "canonical_detector_spec",
+    "detector_descriptions",
+    "detector_info",
+    "make_detector",
+    "parse_detector_spec",
+    "register_detector",
+    "split_detector_specs",
+    # specs
+    "DetectorContext",
+    "DetectorSpec",
+    "EnsembleSpec",
+    "IncrementalSpec",
+    "FdetSpec",
+    "FraudarSpec",
+    "SpokenSpec",
+    "FBoxSpec",
+    "DegreeSpec",
+    # adapters
+    "EnsembleDetector",
+    "IncrementalDetector",
+    "FdetBlockDetector",
+    "FraudarBlockDetector",
+    "SpokenScoreDetector",
+    "FBoxScoreDetector",
+    "DegreeScoreDetector",
+    "detection_from_votes",
+    "detection_from_blocks",
+]

@@ -1,0 +1,147 @@
+"""The unified detector layer: one result type, one protocol.
+
+Every fraud detector in this repo — the EnsemFDet ensemble, its streaming
+variant, bare FDET, and the paper's comparison baselines (Fraudar, SpokEn,
+FBox, degree) — historically exposed a different interface
+(``detect``, ``score``, ``score_users``, ``top_users``, ``fit``), so every
+consumer (scenario harness, figure experiments, CLI) re-implemented the
+comparison glue by hand. This module defines the one shape they all share:
+
+:class:`Detection`
+    What a fitted detector knows about a graph, normalised to *global node
+    labels*: uniform per-user suspiciousness scores, optional per-merchant
+    scores, an optional explicit suspiciousness ranking, optional discrete
+    operating points (threshold sweeps / cumulative block unions), the raw
+    dense blocks where applicable, and timing/metadata.
+
+:class:`Detector` / :class:`StreamingDetector`
+    The protocol consumers program against: ``fit(graph) -> Detection``,
+    plus ``fit_stream(background, batches)`` for detectors that can replay
+    an edge stream incrementally.
+
+Detectors are instantiated through :mod:`repro.detectors.registry` from
+spec strings (``"fraudar:n_blocks=8"``) or dicts; the metrics layer
+evaluates any :class:`Detection` uniformly through
+:func:`repro.metrics.evaluate_detection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..fdet import Block
+    from ..graph import BipartiteGraph, EdgeBatch
+
+__all__ = ["Detection", "Detector", "StreamingDetector"]
+
+
+@dataclass(frozen=True, eq=False)
+class Detection:
+    """Everything a fitted detector reports about one graph.
+
+    Attributes
+    ----------
+    spec:
+        Canonical registry spec of the detector that produced this result
+        (e.g. ``"fraudar:n_blocks=8"``) — provenance for rows/artifacts.
+    user_labels:
+        Global labels of *every* user in the fitted graph, in local-index
+        order; ``user_scores`` is parallel to it.
+    user_scores:
+        Uniform per-user suspiciousness (higher = more suspicious). Vote
+        counts for the ensembles, block-rank scores for block detectors,
+        the native score for score-based baselines.
+    merchant_labels, merchant_scores:
+        Same for merchants, where the detector scores them (``None``
+        otherwise).
+    operating_points:
+        Optional discrete operating points ``(threshold, detected user
+        labels)`` — the voting-threshold sweep for ensembles, cumulative
+        block unions for block detectors. ``None`` for purely score-based
+        detectors, whose curve comes from sweeping ``user_scores``.
+    ranked_users:
+        Optional explicit suspiciousness ranking (global labels, most
+        suspicious first). When ``None``, :meth:`ranking` derives one from
+        ``user_scores``. Block detectors rank by extraction order, which a
+        per-user score cannot express exactly.
+    blocks:
+        The raw dense blocks, for detectors that produce them.
+    seconds:
+        Wall-clock spent fitting.
+    meta:
+        Free-form provenance (ensemble size, refresh counts, clamped
+        ranks, ...). The scenario harness lifts ``n_updates`` /
+        ``n_refreshed`` from here into its rows.
+    """
+
+    spec: str
+    user_labels: np.ndarray
+    user_scores: np.ndarray
+    merchant_labels: np.ndarray | None = None
+    merchant_scores: np.ndarray | None = None
+    operating_points: tuple[tuple[float, np.ndarray], ...] | None = None
+    ranked_users: np.ndarray | None = None
+    blocks: "tuple[Block, ...] | None" = None
+    seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_users(self) -> int:
+        """Number of users in the fitted graph."""
+        return int(self.user_labels.size)
+
+    def ranking(self) -> np.ndarray:
+        """User labels from most to least suspicious.
+
+        The explicit ``ranked_users`` when the detector provided one;
+        otherwise all users ordered by ``(-score, label)`` — the label
+        tie-break keeps equal-score rankings deterministic.
+        """
+        if self.ranked_users is not None:
+            return self.ranked_users
+        order = np.lexsort((self.user_labels, -self.user_scores))
+        return self.user_labels[order]
+
+    def top_users(self, n: int) -> np.ndarray:
+        """The ``n`` most suspicious user labels."""
+        ranking = self.ranking()
+        return ranking[: min(n, ranking.size)]
+
+    def score_of(self, label: int) -> float:
+        """Suspiciousness score of one user label (0.0 if unknown)."""
+        matches = np.nonzero(self.user_labels == int(label))[0]
+        if matches.size == 0:
+            return 0.0
+        return float(self.user_scores[matches[0]])
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """What every registered detector implements."""
+
+    #: canonical registry spec this instance was built from
+    spec: str
+
+    def fit(self, graph: "BipartiteGraph") -> Detection:
+        """Run detection on the full graph."""
+        ...
+
+
+@runtime_checkable
+class StreamingDetector(Detector, Protocol):
+    """A detector that can replay an edge stream incrementally.
+
+    Registered with the ``streaming`` capability flag; the scenario
+    harness routes such detectors through the batch-replay path instead of
+    a cold fit on the accumulated graph.
+    """
+
+    def fit_stream(
+        self, background: "BipartiteGraph", batches: "Sequence[EdgeBatch]"
+    ) -> Detection:
+        """Fit on the honest background, then apply one update per batch."""
+        ...

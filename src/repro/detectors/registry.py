@@ -1,0 +1,263 @@
+"""String-spec construction of detectors, in the sampler-registry style.
+
+Every detector the repo knows is registered here with a name, a config
+dataclass, a factory, and capability flags::
+
+    make_detector("fraudar:n_blocks=8")
+    make_detector("ensemfdet:n=40,sampler=ses", context)
+    make_detector(("degree", {"weighted": True}))
+
+Capabilities drive the consumers generically — the scenario harness
+routes ``streaming`` detectors through batch replay, and detectors that
+share a ``parity`` token (the cold and incremental ensembles) are
+cross-checked cell-for-cell in every robustness grid, with no
+special-cased names anywhere.
+
+Adding a detector is one registration: define a spec dataclass (see
+:mod:`repro.detectors.specs`), an adapter with ``fit(graph) ->
+Detection``, and an entry in ``_REGISTRY`` — the harness, the experiment
+drivers and the CLI pick it up unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import DetectionError
+from .base import Detector
+from .blocks import FdetBlockDetector, FraudarBlockDetector
+from .ensemble import EnsembleDetector, IncrementalDetector
+from .scores import DegreeScoreDetector, FBoxScoreDetector, SpokenScoreDetector
+from .specs import (
+    DegreeSpec,
+    DetectorContext,
+    DetectorSpec,
+    EnsembleSpec,
+    FBoxSpec,
+    FdetSpec,
+    FraudarSpec,
+    IncrementalSpec,
+    SpokenSpec,
+    format_param,
+    split_spec,
+)
+
+__all__ = [
+    "DETECTOR_NAMES",
+    "DetectorInfo",
+    "available_detectors",
+    "canonical_detector_spec",
+    "detector_descriptions",
+    "detector_info",
+    "make_detector",
+    "parse_detector_spec",
+    "register_detector",
+    "split_detector_specs",
+]
+
+#: a spec as accepted everywhere: ``"name:k=v,..."``, ``(name, params)``
+#: or ``{"name": ..., <params>}``
+SpecLike = "str | tuple[str, dict] | dict"
+
+
+@dataclass(frozen=True)
+class DetectorInfo:
+    """One registry entry: construction recipe plus capability flags.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry name (the spec prefix).
+    spec_cls:
+        Config dataclass parsed from the spec's parameters.
+    factory:
+        ``(canonical_spec, config, context) -> Detector``.
+    description:
+        One line for ``ensemfdet detectors --list``.
+    streaming:
+        The detector implements ``fit_stream`` — the scenario harness
+        replays the attack batches through it instead of cold-fitting.
+    parity:
+        Detectors sharing a non-``None`` token must produce identical
+        metrics when built from one context on one graph; robustness
+        grids enforce this live (the cold-vs-incremental bit-parity
+        cross-check, expressed as a capability instead of names).
+    """
+
+    name: str
+    spec_cls: type[DetectorSpec]
+    factory: Callable[[str, DetectorSpec, DetectorContext], Detector]
+    description: str
+    streaming: bool = False
+    parity: str | None = None
+
+
+_REGISTRY: dict[str, DetectorInfo] = {
+    info.name: info
+    for info in (
+        DetectorInfo(
+            name="ensemfdet",
+            spec_cls=EnsembleSpec,
+            factory=EnsembleDetector,
+            description="EnsemFDet ensemble: sample N subgraphs, FDET each, majority-vote",
+            parity="ensemble-vote",
+        ),
+        DetectorInfo(
+            name="incremental",
+            spec_cls=IncrementalSpec,
+            factory=IncrementalDetector,
+            description="streaming EnsemFDet: warm vote state, delta-scoped refresh",
+            streaming=True,
+            parity="ensemble-vote",
+        ),
+        DetectorInfo(
+            name="fdet",
+            spec_cls=FdetSpec,
+            factory=FdetBlockDetector,
+            description="one FDET run on the full graph (no sampling), truncated at k-hat",
+        ),
+        DetectorInfo(
+            name="fraudar",
+            spec_cls=FraudarSpec,
+            factory=FraudarBlockDetector,
+            description="multi-block Fraudar: greedy densest blocks on the full graph",
+        ),
+        DetectorInfo(
+            name="spoken",
+            spec_cls=SpokenSpec,
+            factory=SpokenScoreDetector,
+            description="SpokEn: mass in the top-k singular components (eigenspokes)",
+        ),
+        DetectorInfo(
+            name="fbox",
+            spec_cls=FBoxSpec,
+            factory=FBoxScoreDetector,
+            description="FBox: SVD reconstruction deficiency within degree buckets",
+        ),
+        DetectorInfo(
+            name="degree",
+            spec_cls=DegreeSpec,
+            factory=DegreeScoreDetector,
+            description="degree control: rank users by (optionally weighted) purchases",
+        ),
+    )
+}
+
+#: registered detector names, in canonical order
+DETECTOR_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def register_detector(info: DetectorInfo, replace: bool = False) -> None:
+    """Register an additional detector (e.g. from downstream code).
+
+    The harness, the experiment drivers, ``evaluate_detection`` and the
+    CLI all resolve specs through this registry, so a registered detector
+    immediately works everywhere. Built-in names are listed in
+    :data:`DETECTOR_NAMES`; extensions appear in
+    :func:`available_detectors` but not in that frozen tuple.
+    """
+    name = info.name.strip().lower()
+    if not name:
+        raise DetectionError("detector name must be non-empty")
+    if name in _REGISTRY and not replace:
+        raise DetectionError(
+            f"detector {name!r} is already registered (pass replace=True to override)"
+        )
+    _REGISTRY[name] = info
+
+
+def available_detectors() -> list[str]:
+    """All registered detector names, including downstream registrations."""
+    return list(_REGISTRY)
+
+
+def detector_descriptions() -> dict[str, str]:
+    """``name -> one-line description`` for every registered detector."""
+    return {name: info.description for name, info in _REGISTRY.items()}
+
+
+def detector_info(name_or_spec: str) -> DetectorInfo:
+    """Registry entry for a detector name (a full spec is accepted too)."""
+    name = str(name_or_spec).partition(":")[0].strip().lower()
+    info = _REGISTRY.get(name)
+    if info is None:
+        raise DetectionError(
+            f"unknown detector {name_or_spec!r}; available: {', '.join(_REGISTRY)}"
+        )
+    return info
+
+
+def parse_detector_spec(spec) -> tuple[DetectorInfo, DetectorSpec]:
+    """Parse a spec string / ``(name, params)`` tuple / dict into its config.
+
+    Dict form: ``{"name": "fraudar", "n_blocks": 8}`` — every non-``name``
+    key is a parameter (values may be typed or strings).
+    """
+    if isinstance(spec, str):
+        name, params = split_spec(spec)
+    elif isinstance(spec, tuple) and len(spec) == 2:
+        name, params = str(spec[0]).strip().lower(), dict(spec[1])
+    elif isinstance(spec, dict):
+        params = dict(spec)
+        name = str(params.pop("name", "")).strip().lower()
+    else:
+        raise DetectionError(
+            f"detector spec must be a string, (name, params) tuple or dict, got {spec!r}"
+        )
+    info = detector_info(name)
+    return info, info.spec_cls.from_params(name, params)
+
+
+def _serialise(info: DetectorInfo, config: DetectorSpec) -> str:
+    """Canonical string for an already-parsed ``(info, config)`` pair."""
+    params = config.params()
+    if not params:
+        return info.name
+    body = ",".join(f"{key}={format_param(value)}" for key, value in params.items())
+    return f"{info.name}:{body}"
+
+
+def canonical_detector_spec(spec) -> str:
+    """The canonical string form of a spec (parse → serialise).
+
+    Canonical specs round-trip: parsing one and re-serialising it yields
+    the same string (non-default parameters only, in field order).
+    """
+    return _serialise(*parse_detector_spec(spec))
+
+
+def make_detector(spec, context: DetectorContext | None = None) -> Detector:
+    """Instantiate a detector from a spec, resolved against ``context``.
+
+    Unset spec parameters inherit from ``context`` (defaults when
+    ``None``), so one context shared across several specs yields
+    consistently-configured detectors.
+    """
+    info, config = parse_detector_spec(spec)
+    return info.factory(_serialise(info, config), config, context or DetectorContext())
+
+
+def split_detector_specs(raw: str) -> list[str]:
+    """Split a comma-joined CLI list of specs, keeping params attached.
+
+    ``"ensemfdet:n=8,sampler=ses,degree"`` is ambiguous to a plain comma
+    split; a segment containing ``=`` belongs to the preceding spec
+    (detector names never contain ``=``), so this yields
+    ``["ensemfdet:n=8,sampler=ses", "degree"]``.
+    """
+    specs: list[str] = []
+    for segment in raw.split(","):
+        segment = segment.strip()
+        if not segment:
+            continue
+        if "=" in segment and specs and ":" not in segment:
+            # first parameter after a bare name means the user wrote a
+            # comma where the grammar wants a colon ("degree,weighted=1");
+            # joining with "," would build an unparseable name, so start
+            # the parameter list instead
+            joiner = "," if ":" in specs[-1] else ":"
+            specs[-1] = f"{specs[-1]}{joiner}{segment}"
+        else:
+            specs.append(segment)
+    return specs

@@ -1,0 +1,97 @@
+"""Detector-protocol adapters for score-based baselines.
+
+SpokEn, FBox and the degree control already produce continuous per-user
+suspiciousness scores; their :class:`~repro.detectors.base.Detection` view
+carries the scores directly and leaves ``operating_points`` unset — the
+evaluation layer sweeps a score threshold instead
+(:func:`repro.metrics.pr_curve_from_scores`), exactly as the Fig.-3 glue
+always did for these methods.
+"""
+
+from __future__ import annotations
+
+from ..baselines import DegreeDetector, FBoxDetector, SpokenDetector
+from ..graph import BipartiteGraph
+from ..parallel import Timer
+from .base import Detection
+from .specs import DegreeSpec, DetectorContext, FBoxSpec, SpokenSpec
+
+__all__ = ["SpokenScoreDetector", "FBoxScoreDetector", "DegreeScoreDetector"]
+
+
+class SpokenScoreDetector:
+    """``spoken`` — max normalised mass in the top-k singular components."""
+
+    def __init__(self, spec: str, config: SpokenSpec, context: DetectorContext) -> None:
+        self.spec = spec
+        self.detector = SpokenDetector(
+            config.components if config.components is not None else context.n_components
+        )
+
+    def fit(self, graph: BipartiteGraph) -> Detection:
+        with Timer() as timer:
+            scores = self.detector.score(graph)
+        return Detection(
+            spec=self.spec,
+            user_labels=graph.user_labels,
+            user_scores=scores.user_scores,
+            merchant_labels=graph.merchant_labels,
+            merchant_scores=scores.merchant_scores,
+            seconds=timer.elapsed,
+            meta={"n_components": scores.n_components},
+        )
+
+
+class FBoxScoreDetector:
+    """``fbox`` — within-degree-bucket SVD reconstruction deficiency."""
+
+    def __init__(self, spec: str, config: FBoxSpec, context: DetectorContext) -> None:
+        self.spec = spec
+        # unset spec fields defer to the baseline's own defaults, so the
+        # registry path can never silently diverge from direct construction
+        kwargs = {}
+        if config.min_degree is not None:
+            kwargs["min_degree"] = config.min_degree
+        if config.buckets is not None:
+            kwargs["n_degree_buckets"] = config.buckets
+        self.detector = FBoxDetector(
+            n_components=(
+                config.components if config.components is not None else context.n_components
+            ),
+            **kwargs,
+        )
+
+    def fit(self, graph: BipartiteGraph) -> Detection:
+        with Timer() as timer:
+            scores = self.detector.score(graph)
+        return Detection(
+            spec=self.spec,
+            user_labels=graph.user_labels,
+            user_scores=scores.user_scores,
+            seconds=timer.elapsed,
+            # the rank actually used (post-clamp), not the configured one
+            meta={"n_components": scores.n_components},
+        )
+
+
+class DegreeScoreDetector:
+    """``degree`` — rank users by (optionally weighted) purchase count."""
+
+    def __init__(self, spec: str, config: DegreeSpec, context: DetectorContext) -> None:
+        self.spec = spec
+        self.detector = (
+            DegreeDetector(weighted=config.weighted)
+            if config.weighted is not None
+            else DegreeDetector()
+        )
+
+    def fit(self, graph: BipartiteGraph) -> Detection:
+        with Timer() as timer:
+            scores = self.detector.score_users(graph)
+        return Detection(
+            spec=self.spec,
+            user_labels=graph.user_labels,
+            user_scores=scores,
+            seconds=timer.elapsed,
+            meta={"weighted": self.detector.weighted},
+        )

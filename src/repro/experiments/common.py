@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from ..datasets import Dataset, make_jd_dataset
 from ..ensemble import EnsemFDet, EnsemFDetConfig, EnsemFDetResult
-from ..fdet import FdetConfig, FixedKRule, PeelEngine, SecondDifferenceRule, TruncationRule
+from ..fdet import FdetConfig, PeelEngine, SecondDifferenceRule, TruncationRule
 from ..parallel import ExecutorMode
 from ..sampling import RandomEdgeSampler, Sampler
 from .base import ScalePreset

@@ -12,6 +12,8 @@ from .curves import (
     precision_at_recall,
 )
 from .evaluation import (
+    detection_confusion,
+    detection_curve,
     ensemble_threshold_curve,
     evaluate_detection,
     fraudar_block_curve,
@@ -30,6 +32,8 @@ __all__ = [
     "best_f1",
     "precision_at_recall",
     "precision_at_k",
+    "detection_confusion",
+    "detection_curve",
     "evaluate_detection",
     "ensemble_threshold_curve",
     "fraudar_block_curve",

@@ -1,22 +1,40 @@
-"""Evaluation harness: detectors × datasets → operating curves.
+"""Evaluation harness: any :class:`~repro.detectors.Detection` → metrics.
 
-Glue between the detector result types and the curve machinery — one
-function per detector family, all returning ``list[CurvePoint]`` so
-experiments can compare them uniformly.
+The unified entry points are :func:`detection_curve` (a detection's full
+operating curve) and :func:`evaluate_detection` (the flat summary row the
+scenario harness and experiments consume: best F1 with its threshold,
+AUC-PR, precision@k). They replace the per-method curve glue each consumer
+used to hand-wire; the legacy per-family helpers
+(:func:`ensemble_threshold_curve`, :func:`fraudar_block_curve`,
+:func:`score_curve`) remain for callers that hold the native result types.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..baselines import FraudarResult
 from ..datasets import Blacklist
-from ..ensemble import EnsemFDetResult
 from ..graph import BipartiteGraph
 from .confusion import Confusion, confusion_from_sets
-from .curves import CurvePoint, curve_from_detections, pr_curve_from_scores
+from .curves import (
+    CurvePoint,
+    auc_pr,
+    best_f1,
+    curve_from_detections,
+    precision_at_k,
+    pr_curve_from_scores,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids a package cycle
+    from ..baselines import FraudarResult
+    from ..detectors import Detection
+    from ..ensemble import EnsemFDetResult
 
 __all__ = [
+    "detection_confusion",
+    "detection_curve",
     "evaluate_detection",
     "ensemble_threshold_curve",
     "fraudar_block_curve",
@@ -24,19 +42,99 @@ __all__ = [
 ]
 
 
-def evaluate_detection(
+def detection_confusion(
     detected_users: np.ndarray,
     blacklist: Blacklist,
     n_population: int | None = None,
 ) -> Confusion:
-    """Confusion of one fixed detection against the blacklist."""
+    """Confusion of one fixed set of detected labels against the blacklist."""
     return confusion_from_sets(
         detected_users.tolist(), blacklist.labels, n_population=n_population
     )
 
 
+def _subsample_points(
+    points: tuple[tuple[float, np.ndarray], ...], max_points: int
+) -> list[tuple[float, np.ndarray]]:
+    """Thin discrete operating points to at most ``max_points``.
+
+    Positions are subsampled with the same rounding rule as
+    :func:`repro.experiments.common.threshold_grid`, so an ensemble's
+    ``1..N`` threshold sweep thins exactly as the figure drivers always
+    thinned it.
+    """
+    step = len(points) / max_points
+    keep = sorted({int(round(1 + i * step)) for i in range(max_points)})
+    return [points[i - 1] for i in keep if 1 <= i <= len(points)]
+
+
+def detection_curve(
+    detection: "Detection",
+    blacklist: Blacklist,
+    max_points: int | None = None,
+) -> list[CurvePoint]:
+    """Operating curve of any :class:`~repro.detectors.Detection`.
+
+    Detectors with discrete ``operating_points`` (threshold sweeps, block
+    unions) are evaluated point by point; score-based detections sweep a
+    threshold over ``user_scores``. ``max_points`` caps the curve length
+    (``None``: discrete points are kept in full, score sweeps default to
+    200 thresholds).
+    """
+    if detection.operating_points is not None:
+        points = detection.operating_points
+        if max_points is not None and len(points) > max_points:
+            points = _subsample_points(points, max_points)
+        return curve_from_detections(
+            [(threshold, labels.tolist()) for threshold, labels in points],
+            blacklist.labels,
+        )
+    truth_mask = blacklist.mask(detection.user_labels)
+    return pr_curve_from_scores(
+        detection.user_scores, truth_mask, max_points=max_points or 200
+    )
+
+
+def evaluate_detection(
+    detection: "Detection",
+    blacklist: Blacklist,
+    k: int = 50,
+    max_curve_points: int | None = None,
+) -> dict:
+    """Flat operating-curve summary of one detection — the grid-cell row.
+
+    Returns ``best_threshold`` / ``best_f1`` / ``precision`` / ``recall``
+    / ``n_detected`` at the F1-optimal operating point, ``auc_pr`` over
+    the whole curve, and ``precision_at_k`` over the detection's
+    suspiciousness ranking (:meth:`~repro.detectors.Detection.ranking`).
+    Integer-valued best thresholds (vote counts, block counts) are
+    reported as ints, score thresholds as floats.
+    """
+    curve = detection_curve(detection, blacklist, max_points=max_curve_points)
+    best = best_f1(curve)
+    if best is None:
+        threshold = 0
+    else:
+        threshold = (
+            int(best.threshold)
+            if float(best.threshold).is_integer()
+            else round(float(best.threshold), 6)
+        )
+    return {
+        "best_threshold": threshold,
+        "best_f1": round(best.f1, 6) if best else 0.0,
+        "precision": round(best.precision, 6) if best else 0.0,
+        "recall": round(best.recall, 6) if best else 0.0,
+        "n_detected": best.n_detected if best else 0,
+        "auc_pr": round(auc_pr(curve), 6),
+        "precision_at_k": round(
+            precision_at_k(detection.ranking().tolist(), blacklist.labels, k), 6
+        ),
+    }
+
+
 def ensemble_threshold_curve(
-    result: EnsemFDetResult,
+    result: "EnsemFDetResult",
     blacklist: Blacklist,
     thresholds: list[int] | None = None,
 ) -> list[CurvePoint]:
@@ -53,7 +151,7 @@ def ensemble_threshold_curve(
 
 
 def fraudar_block_curve(
-    result: FraudarResult, blacklist: Blacklist
+    result: "FraudarResult", blacklist: Blacklist
 ) -> list[CurvePoint]:
     """Fraudar's operating points: cumulative unions of blocks 1..K."""
     return curve_from_detections(
@@ -71,7 +169,7 @@ def score_curve(
     blacklist: Blacklist,
     max_points: int = 200,
 ) -> list[CurvePoint]:
-    """Curve for score-based baselines (SpokEn, FBox, degree).
+    """Curve for raw score arrays (SpokEn, FBox, degree).
 
     ``user_scores`` are per *local index*; the blacklist speaks in labels,
     so the graph's ``user_labels`` provide the bridge.

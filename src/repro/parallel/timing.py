@@ -4,7 +4,7 @@ speedup measurements and the memory-aware benchmarks."""
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
 __all__ = ["Timer", "Timing", "time_callable", "peak_rss_bytes"]

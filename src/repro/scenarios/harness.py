@@ -3,23 +3,27 @@
 One grid cell = run one detector against one generated attack instance and
 summarise its whole operating curve: best F1 (with the threshold that
 achieves it), area under the PR curve, and precision@k over the detector's
-suspiciousness ranking — all through :mod:`repro.metrics`.
+suspiciousness ranking — all through
+:func:`repro.metrics.evaluate_detection`.
 
-Three detector backends are registered:
+Detectors are named by **registry specs** (see :mod:`repro.detectors`):
+any registered detector — ``ensemfdet``, ``incremental``, ``fdet``,
+``fraudar``, ``spoken``, ``fbox``, ``degree`` — runs in the grid, with
+optional per-spec parameters (``"fraudar:n_blocks=8"``). The grid's shared
+ensemble knobs (seed, N, ratio, stripe, max blocks, engine, executor)
+form the :class:`~repro.detectors.DetectorContext` every spec resolves
+against, so unparameterised specs stay mutually consistent.
 
-``ensemfdet``
-    Cold :meth:`repro.ensemble.EnsemFDet.fit` on the full attacked graph.
-``incremental``
-    The streaming path: :meth:`~repro.ensemble.IncrementalEnsemFDet.fit`
-    on the honest background batch, then one
-    :meth:`~repro.ensemble.IncrementalEnsemFDet.update` per attack batch
-    in replay order — staged scenarios drive one update per wave. Both
-    ensemble backends share the same :class:`~repro.sampling.StableEdgeSampler`
-    and seed, so their final vote tables (and hence every metric) are
-    bit-identical; the harness reporting both is a live cross-check of the
-    incremental layer.
-``fraudar``
-    The multi-block Fraudar baseline, ranked by block extraction order.
+Two capability flags drive special routing, with no hardcoded names:
+
+* ``streaming`` detectors replay the instance's batch stream (fit on the
+  honest background, one update per attack batch — staged scenarios drive
+  one update per wave) instead of cold-fitting the accumulated graph;
+* detectors sharing a ``parity`` token (the cold and incremental
+  ensembles, which share one :class:`~repro.sampling.StableEdgeSampler`
+  and seed) must produce bit-identical metrics in every cell — enforced
+  live in every grid that runs both, as a cross-check of the incremental
+  layer.
 
 Results come back as the repo's standard
 :class:`~repro.experiments.base.ExperimentResult` (renderable ASCII table,
@@ -31,20 +35,42 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
 
-from ..baselines import FraudarDetector
-from ..datasets import Blacklist
-from ..ensemble import EnsemFDet, EnsemFDetConfig, IncrementalEnsemFDet, VoteTable, majority_vote
-from ..errors import ScenarioError
-from ..fdet import FdetConfig, PeelEngine
-from ..metrics import auc_pr, best_f1, curve_from_detections, precision_at_k
+from ..detectors import (
+    DETECTOR_NAMES,
+    DetectorContext,
+    available_detectors,
+    canonical_detector_spec,
+    detector_info,
+    make_detector,
+)
+from ..errors import DetectionError, ScenarioError
+from ..fdet import PeelEngine
+from ..metrics import evaluate_detection
 from ..parallel import ExecutorMode, Timer
-from ..sampling import StableEdgeSampler
 from .base import Scenario, ScenarioResult, accumulate_batches
 from .registry import SCENARIO_NAMES, make_scenario
 
 __all__ = ["DETECTOR_NAMES", "ScenarioGridConfig", "evaluate_cell", "run_grid"]
+
+
+def _canonical_specs(specs: tuple[str, ...]) -> tuple[str, ...]:
+    """Normalise detector specs, turning registry errors into ScenarioError."""
+    canonical = []
+    unknown = []
+    for spec in specs:
+        try:
+            canonical.append(canonical_detector_spec(spec))
+        except DetectionError as exc:
+            if "unknown detector" in str(exc):
+                unknown.append(spec)
+            else:
+                raise ScenarioError(f"bad detector spec {spec!r}: {exc}") from exc
+    if unknown:
+        raise ScenarioError(
+            f"unknown detectors {unknown}; available: {', '.join(available_detectors())}"
+        )
+    return tuple(canonical)
 
 
 @dataclass(frozen=True)
@@ -58,16 +84,17 @@ class ScenarioGridConfig:
     intensities:
         Attack-strength multipliers; the grid is the cross product.
     detectors:
-        Detector backends (see module docstring) evaluated per instance.
+        Detector registry specs evaluated per instance (normalised to
+        their canonical form).
     scale:
         World-size multiplier passed to every generator.
     seed:
         Seed for generation *and* for the ensemble sampling stage.
     n_samples, sample_ratio, stripe, max_blocks, engine, executor:
-        Ensemble knobs, shared by the cold and incremental backends
-        (``stripe`` sizes the :class:`~repro.sampling.StableEdgeSampler`
-        stripes; small graphs want small stripes so wave deltas do not
-        invalidate every member).
+        Shared detector knobs, exposed to every spec through the
+        :class:`~repro.detectors.DetectorContext` (``stripe`` sizes the
+        :class:`~repro.sampling.StableEdgeSampler` stripes; small graphs
+        want small stripes so wave deltas do not invalidate every member).
     precision_k:
         The ``k`` of precision@k. The denominator is always ``k``
         (standard definition — see :func:`repro.metrics.precision_at_k`),
@@ -110,13 +137,11 @@ class ScenarioGridConfig:
             )
         if not self.intensities or any(i <= 0 for i in self.intensities):
             raise ScenarioError(f"intensities must be positive, got {self.intensities}")
-        bad = [name for name in self.detectors if name not in _DETECTORS]
-        if bad:
-            raise ScenarioError(
-                f"unknown detectors {bad}; available: {', '.join(sorted(_DETECTORS))}"
-            )
         if not self.detectors:
             raise ScenarioError("grid needs at least one detector")
+        object.__setattr__(self, "detectors", _canonical_specs(self.detectors))
+        if len(set(self.detectors)) != len(self.detectors):
+            raise ScenarioError(f"duplicate detector specs in {self.detectors}")
         if self.precision_k < 1:
             raise ScenarioError(f"precision_k must be >= 1, got {self.precision_k}")
         stray = [name for name in self.scenario_params if name not in self.scenarios]
@@ -125,152 +150,93 @@ class ScenarioGridConfig:
                 f"scenario_params for scenarios not in the grid: {stray}"
             )
 
-    def ensemble_config(self) -> EnsemFDetConfig:
-        """The shared ensemble configuration for both ensemble backends."""
-        return EnsemFDetConfig(
-            sampler=StableEdgeSampler(self.sample_ratio, stripe=self.stripe),
-            n_samples=self.n_samples,
-            fdet=FdetConfig(max_blocks=self.max_blocks, engine=self.engine),
-            executor=self.executor,
+    def detector_context(self) -> DetectorContext:
+        """The shared knob set every detector spec resolves against."""
+        return DetectorContext(
             seed=self.seed,
+            n_samples=self.n_samples,
+            sample_ratio=self.sample_ratio,
+            stripe=self.stripe,
+            max_blocks=self.max_blocks,
+            engine=self.engine,
+            executor=self.executor,
         )
 
 
-def _ranked_by_votes(table: VoteTable) -> list[int]:
-    """User labels from most to least voted (ties broken by label)."""
-    return [
-        label
-        for label, _ in sorted(table.user_votes.items(), key=lambda item: (-item[1], item[0]))
-    ]
-
-
-def _table_metrics(
-    table: VoteTable, n_samples: int, blacklist: Blacklist, k: int
-) -> dict:
-    """Operating-curve summary of one fitted vote table."""
-    pairs = [(threshold, majority_vote(table, threshold)) for threshold in range(1, n_samples + 1)]
-    curve = curve_from_detections(
-        [(float(t), detection.user_labels.tolist()) for t, detection in pairs],
-        blacklist.labels,
-    )
-    best = best_f1(curve)
-    return {
-        "best_threshold": int(best.threshold) if best else 0,
-        "best_f1": round(best.f1, 6) if best else 0.0,
-        "precision": round(best.precision, 6) if best else 0.0,
-        "recall": round(best.recall, 6) if best else 0.0,
-        "n_detected": best.n_detected if best else 0,
-        "auc_pr": round(auc_pr(curve), 6),
-        "precision_at_k": round(precision_at_k(_ranked_by_votes(table), blacklist.labels, k), 6),
-    }
-
-
-def _run_ensemfdet(instance: ScenarioResult, config: ScenarioGridConfig) -> dict:
-    """Cold fit on the fully-accumulated attacked graph."""
-    result = EnsemFDet(config.ensemble_config()).fit(instance.dataset.graph)
-    metrics = _table_metrics(
-        result.vote_table, config.n_samples, instance.dataset.blacklist, config.precision_k
-    )
-    metrics["n_updates"] = 0
-    metrics["n_refreshed"] = 0
-    return metrics
-
-
-def _run_incremental(instance: ScenarioResult, config: ScenarioGridConfig) -> dict:
-    """Streaming path: fit on the background, one ``update()`` per attack batch."""
-    detector = IncrementalEnsemFDet(config.ensemble_config())
-    detector.fit(accumulate_batches(instance.batches[:1]))
-    refreshed = 0
-    for batch in instance.attack_batches:
-        report = detector.update(batch.users, batch.merchants, batch.weights)
-        refreshed += report.n_refreshed
-    metrics = _table_metrics(
-        detector.vote_table, config.n_samples, instance.dataset.blacklist, config.precision_k
-    )
-    metrics["n_updates"] = len(instance.attack_batches)
-    metrics["n_refreshed"] = refreshed
-    return metrics
-
-
-def _run_fraudar(instance: ScenarioResult, config: ScenarioGridConfig) -> dict:
-    """Multi-block Fraudar baseline, ranked by extraction order."""
-    result = FraudarDetector(n_blocks=config.max_blocks, engine=config.engine).detect(
-        instance.dataset.graph
-    )
-    blacklist = instance.dataset.blacklist
-    curve = curve_from_detections(
-        [
-            (float(n_blocks), labels.tolist())
-            for n_blocks, labels in result.cumulative_detections()
-        ],
-        blacklist.labels,
-    )
-    ranked: list[int] = []
-    seen: set[int] = set()
-    for block in result.blocks:
-        for label in block.user_labels.tolist():
-            if label not in seen:
-                seen.add(label)
-                ranked.append(label)
-    best = best_f1(curve)
-    return {
-        "best_threshold": int(best.threshold) if best else 0,
-        "best_f1": round(best.f1, 6) if best else 0.0,
-        "precision": round(best.precision, 6) if best else 0.0,
-        "recall": round(best.recall, 6) if best else 0.0,
-        "n_detected": best.n_detected if best else 0,
-        "auc_pr": round(auc_pr(curve), 6),
-        "precision_at_k": round(precision_at_k(ranked, blacklist.labels, config.precision_k), 6),
-        "n_updates": 0,
-        "n_refreshed": 0,
-    }
-
-
-_DETECTORS: dict[str, Callable[[ScenarioResult, ScenarioGridConfig], dict]] = {
-    "ensemfdet": _run_ensemfdet,
-    "incremental": _run_incremental,
-    "fraudar": _run_fraudar,
-}
-
-#: registered detector backends, in canonical order
-DETECTOR_NAMES: tuple[str, ...] = ("ensemfdet", "incremental", "fraudar")
-
-
-#: cells of these keys must agree between the cold and incremental backends
+#: cells of these keys must agree between parity-grouped detectors
 _PARITY_KEYS = ("best_threshold", "best_f1", "precision", "recall", "n_detected", "auc_pr", "precision_at_k")
 
 
-def _check_ensemble_parity(cells: dict[str, dict]) -> None:
-    """The streaming path must reproduce the cold fit, cell for cell.
+def _check_ensemble_parity(
+    cells: dict[str, dict], context: DetectorContext | None = None
+) -> None:
+    """Parity-grouped detectors must agree, cell for cell.
 
-    Both ensemble backends share one :class:`StableEdgeSampler` and seed,
-    so their vote tables are bit-identical by construction; a mismatch in
-    any metric means the incremental layer broke. Enforced live in every
-    grid that runs both backends, not just in the test suite.
+    Detectors registered with the same ``parity`` capability token (the
+    cold and incremental ensembles, which share one
+    :class:`StableEdgeSampler` and seed) produce bit-identical vote
+    tables by construction; a mismatch in any metric means the
+    incremental layer broke. Enforced live in every grid that runs a
+    parity group, not just in the test suite.
+
+    Specs that *override* a result-determining knob (sampler, ``n``,
+    seed, ...) resolve to a different ``parity_fingerprint()`` and are
+    excluded from each other's group — ``ensemfdet:sampler=res`` next to
+    ``incremental`` is allowed to diverge, it is configured differently.
     """
-    if "ensemfdet" not in cells or "incremental" not in cells:
-        return
-    cold, warm = cells["ensemfdet"], cells["incremental"]
-    drifted = [key for key in _PARITY_KEYS if cold[key] != warm[key]]
-    if drifted:
-        raise ScenarioError(
-            f"incremental backend diverged from the cold fit on "
-            f"{cold['scenario']}@i{cold['intensity']:g} (keys: {', '.join(drifted)}) "
-            "— the incremental layer no longer reproduces EnsemFDet.fit"
-        )
+    context = context or DetectorContext()
+    groups: dict[tuple, list[str]] = {}
+    for spec in cells:
+        info = detector_info(spec)
+        if info.parity is None:
+            continue
+        fingerprint = getattr(
+            make_detector(spec, context), "parity_fingerprint", lambda: None
+        )()
+        groups.setdefault((info.parity, fingerprint), []).append(spec)
+    for specs in groups.values():
+        if len(specs) < 2:
+            continue
+        # the non-streaming member (the cold fit) is the reference
+        specs = sorted(specs, key=lambda spec: detector_info(spec).streaming)
+        reference = cells[specs[0]]
+        for spec in specs[1:]:
+            drifted = [key for key in _PARITY_KEYS if reference[key] != cells[spec][key]]
+            if drifted:
+                raise ScenarioError(
+                    f"detector {spec!r} diverged from the cold fit on "
+                    f"{reference['scenario']}@i{reference['intensity']:g} "
+                    f"(keys: {', '.join(drifted)}) "
+                    "— the incremental layer no longer reproduces EnsemFDet.fit"
+                )
 
 
 def evaluate_cell(
     instance: ScenarioResult, detector: str, config: ScenarioGridConfig
 ) -> dict:
-    """One grid cell: run ``detector`` on ``instance`` and summarise it."""
-    runner = _DETECTORS.get(detector)
-    if runner is None:
-        raise ScenarioError(
-            f"unknown detector {detector!r}; available: {', '.join(sorted(_DETECTORS))}"
-        )
+    """One grid cell: run the ``detector`` spec on ``instance``.
+
+    Streaming-capable detectors replay the instance's batch stream; all
+    others cold-fit the fully-accumulated attacked graph.
+    """
+    context = config.detector_context()
+    try:
+        info = detector_info(detector)
+        fitted = make_detector(detector, context)
+    except DetectionError as exc:
+        # the harness's error contract is ScenarioError, for bad
+        # parameters just as for unknown names
+        raise ScenarioError(str(exc)) from exc
     with Timer() as timer:
-        metrics = runner(instance, config)
+        if info.streaming:
+            detection = fitted.fit_stream(
+                accumulate_batches(instance.batches[:1]), instance.attack_batches
+            )
+        else:
+            detection = fitted.fit(instance.dataset.graph)
+        metrics = evaluate_detection(
+            detection, instance.dataset.blacklist, k=config.precision_k
+        )
     dataset = instance.dataset
     return {
         "scenario": instance.scenario,
@@ -281,6 +247,8 @@ def evaluate_cell(
         "n_fraud": int(instance.fraud_users.size),
         "n_batches": len(instance.batches),
         **metrics,
+        "n_updates": int(detection.meta.get("n_updates", 0)),
+        "n_refreshed": int(detection.meta.get("n_refreshed", 0)),
         "wall_seconds": round(timer.elapsed, 3),
     }
 
@@ -310,7 +278,7 @@ def run_grid(
                 detector: evaluate_cell(instance, detector, config)
                 for detector in config.detectors
             }
-            _check_ensemble_parity(cells)
+            _check_ensemble_parity(cells, config.detector_context())
             rows.extend(cells.values())
     result = ExperimentResult(
         experiment="scenario_grid",

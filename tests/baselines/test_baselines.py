@@ -80,6 +80,23 @@ class TestSpoken:
         scores = SpokenDetector(n_components=25).score(graph)
         assert scores.n_components <= 2
 
+    def test_clamp_logs_warning_on_tiny_graph(self, caplog):
+        # regression: n_components >= min(n_users, n_merchants) must clamp
+        # to a valid SVD rank with a logged warning, not fail inside ARPACK
+        graph = BipartiteGraph.from_edges(
+            [(0, 0), (0, 1), (1, 0), (1, 1)], n_users=2, n_merchants=2
+        )
+        with caplog.at_level("WARNING", logger="repro.baselines"):
+            scores = SpokenDetector(n_components=25).score(graph)
+        assert scores.n_components == 1
+        assert any("clamping n_components" in record.message for record in caplog.records)
+
+    def test_no_warning_when_rank_fits(self, planted_graph, caplog):
+        graph, _ = planted_graph
+        with caplog.at_level("WARNING", logger="repro.baselines"):
+            SpokenDetector(n_components=3).score(graph)
+        assert not caplog.records
+
     def test_planted_block_scores_high(self, planted_graph):
         graph, injection = planted_graph
         scores = SpokenDetector(n_components=8).score(graph)
@@ -145,6 +162,17 @@ class TestFBox:
         with pytest.raises(DetectionError):
             FBoxDetector().score(graph)
 
+    def test_components_clamped_with_warning_on_tiny_graph(self, caplog):
+        # regression: same clamp-and-warn behaviour as SpokEn on graphs
+        # smaller than the configured SVD rank
+        graph = BipartiteGraph.from_edges(
+            [(u, v) for u in range(4) for v in range(2)], n_users=4, n_merchants=2
+        )
+        with caplog.at_level("WARNING", logger="repro.baselines"):
+            scores = FBoxDetector(n_components=25, min_degree=1).score(graph)
+        assert scores.user_scores.shape == (4,)
+        assert any("clamping n_components" in record.message for record in caplog.records)
+
 
 class TestDegreeDetector:
     def test_scores_are_degrees(self, tiny_graph):
@@ -162,3 +190,17 @@ class TestDegreeDetector:
 
     def test_top_users_clamped(self, tiny_graph):
         assert DegreeDetector().top_users(tiny_graph, 99).size == 4
+
+    def test_all_ties_rank_by_node_index(self):
+        # regression: equal-degree users must rank deterministically by
+        # node index (explicit (score, id) sort key, not argsort luck)
+        graph = BipartiteGraph.from_edges(
+            [(u, u % 3) for u in range(6)], n_users=6, n_merchants=3
+        )
+        assert DegreeDetector().score_users(graph).tolist() == [1.0] * 6
+        assert DegreeDetector().top_users(graph, 6).tolist() == [0, 1, 2, 3, 4, 5]
+        assert DegreeDetector().top_users(graph, 3).tolist() == [0, 1, 2]
+
+    def test_ties_within_equal_scores_keep_index_order(self, tiny_graph):
+        # degrees are [2, 1, 1, 2]: ties (0,3) and (1,2) each keep index order
+        assert DegreeDetector().top_users(tiny_graph, 4).tolist() == [0, 3, 1, 2]

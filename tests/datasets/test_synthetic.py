@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.datasets import chung_lu_bipartite, powerlaw_weights, uniform_bipartite

@@ -1,0 +1,194 @@
+"""Behavioural tests for the Detection result type and the adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import toy_dataset
+from repro.detectors import (
+    Detection,
+    Detector,
+    DetectorContext,
+    StreamingDetector,
+    make_detector,
+)
+from repro.ensemble import EnsemFDet
+from repro.metrics import detection_curve, evaluate_detection
+
+CONTEXT = DetectorContext(seed=0, n_samples=6, sample_ratio=0.5, stripe=32, max_blocks=5)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return toy_dataset()
+
+
+@pytest.fixture(scope="module")
+def detections(dataset):
+    """One fitted Detection per registered detector family."""
+    return {
+        spec: make_detector(spec, CONTEXT).fit(dataset.graph)
+        for spec in ("ensemfdet", "incremental", "fdet", "fraudar", "spoken", "fbox", "degree")
+    }
+
+
+class TestDetectionShape:
+    def test_scores_parallel_to_labels(self, dataset, detections):
+        for spec, detection in detections.items():
+            assert detection.spec == spec
+            assert detection.user_labels.shape == detection.user_scores.shape
+            assert detection.n_users == dataset.graph.n_users
+            assert detection.seconds >= 0.0
+
+    def test_protocol_conformance(self):
+        for spec in ("ensemfdet", "fraudar", "degree"):
+            assert isinstance(make_detector(spec, CONTEXT), Detector)
+        assert isinstance(make_detector("incremental", CONTEXT), StreamingDetector)
+
+    def test_ranking_is_a_permutation_prefix(self, dataset, detections):
+        labels = set(dataset.graph.user_labels.tolist())
+        for detection in detections.values():
+            ranking = detection.ranking().tolist()
+            assert len(ranking) == len(set(ranking))  # no duplicates
+            assert set(ranking) <= labels
+
+    def test_ranking_respects_scores(self, detections):
+        for detection in detections.values():
+            ranked_scores = [detection.score_of(label) for label in detection.ranking()]
+            assert ranked_scores == sorted(ranked_scores, reverse=True)
+
+    def test_top_users_prefix(self, detections):
+        detection = detections["degree"]
+        np.testing.assert_array_equal(detection.top_users(5), detection.ranking()[:5])
+
+    def test_score_of_unknown_label(self, detections):
+        assert detections["degree"].score_of(10**9) == 0.0
+
+
+class TestEnsembleAdapter:
+    def test_threshold_sweep_matches_majority_vote(self, dataset, detections):
+        """The single-pass sweep must reproduce majority_vote bit for bit."""
+        from repro.ensemble import EnsemFDet, majority_vote
+
+        table = EnsemFDet(
+            make_detector("ensemfdet", CONTEXT).config
+        ).fit(dataset.graph).vote_table
+        for threshold, labels in detections["ensemfdet"].operating_points:
+            np.testing.assert_array_equal(
+                labels, majority_vote(table, int(threshold)).user_labels
+            )
+
+    def test_votes_match_direct_fit(self, dataset, detections):
+        """The adapter's scores are exactly EnsemFDet's vote counts."""
+        direct = EnsemFDet(
+            make_detector("ensemfdet", CONTEXT).config
+        ).fit(dataset.graph)
+        detection = detections["ensemfdet"]
+        for label, votes in direct.vote_table.user_votes.items():
+            assert detection.score_of(label) == votes
+
+    def test_operating_points_sweep_all_thresholds(self, detections):
+        points = detections["ensemfdet"].operating_points
+        assert [threshold for threshold, _ in points] == [
+            float(t) for t in range(1, CONTEXT.n_samples + 1)
+        ]
+        sizes = [labels.size for _, labels in points]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_cold_and_incremental_fit_identical(self, detections):
+        cold, warm = detections["ensemfdet"], detections["incremental"]
+        np.testing.assert_array_equal(cold.user_scores, warm.user_scores)
+        np.testing.assert_array_equal(cold.ranking(), warm.ranking())
+
+
+class TestBlockAdapters:
+    @pytest.mark.parametrize("spec", ["fdet", "fraudar"])
+    def test_operating_points_are_cumulative_unions(self, detections, spec):
+        detection = detections[spec]
+        assert detection.blocks
+        previous: set[int] = set()
+        for threshold, labels in detection.operating_points:
+            current = set(labels.tolist())
+            assert previous <= current
+            previous = current
+        assert threshold == float(len(detection.blocks))
+
+    def test_extraction_order_ranking(self, detections):
+        detection = detections["fraudar"]
+        first_block = detection.blocks[0]
+        ranking = detection.ranking()
+        np.testing.assert_array_equal(
+            np.sort(ranking[: first_block.n_users]), first_block.user_labels
+        )
+
+    def test_fdet_meta_records_truncation(self, detections):
+        meta = detections["fdet"].meta
+        assert meta["k_hat"] == len(detections["fdet"].blocks)
+        assert meta["n_blocks_extracted"] >= meta["k_hat"]
+
+
+class TestScoreAdapters:
+    def test_score_detectors_have_no_operating_points(self, detections):
+        for spec in ("spoken", "fbox", "degree"):
+            assert detections[spec].operating_points is None
+            assert detections[spec].ranked_users is None
+
+    def test_degree_scores_are_degrees(self, dataset, detections):
+        np.testing.assert_array_equal(
+            detections["degree"].user_scores,
+            dataset.graph.user_degrees().astype(np.float64),
+        )
+
+    def test_spoken_scores_merchants_too(self, detections):
+        assert detections["spoken"].merchant_scores is not None
+        assert detections["spoken"].merchant_scores.shape == (
+            detections["spoken"].merchant_labels.shape
+        )
+
+    def test_svd_meta_reports_clamped_rank(self):
+        """On a graph smaller than the configured rank, meta must record
+        what actually ran, not the configured number."""
+        from repro.graph import BipartiteGraph
+
+        graph = BipartiteGraph.from_edges(
+            [(u, v) for u in range(4) for v in range(3)], n_users=4, n_merchants=3
+        )
+        for spec in ("spoken:components=25", "fbox:components=25,min_degree=1"):
+            detection = make_detector(spec, CONTEXT).fit(graph)
+            assert detection.meta["n_components"] == 2
+
+
+class TestEvaluateDetection:
+    def test_every_family_evaluates(self, dataset, detections):
+        for detection in detections.values():
+            metrics = evaluate_detection(detection, dataset.blacklist, k=10)
+            for key in ("best_f1", "precision", "recall", "auc_pr", "precision_at_k"):
+                assert 0.0 <= metrics[key] <= 1.0
+            assert metrics["n_detected"] >= 0
+
+    def test_integer_thresholds_stay_ints(self, dataset, detections):
+        metrics = evaluate_detection(detections["ensemfdet"], dataset.blacklist)
+        assert isinstance(metrics["best_threshold"], int)
+
+    def test_perfect_synthetic_detection(self, dataset):
+        truth = np.sort(dataset.clean_fraud_labels)
+        labels = dataset.graph.user_labels
+        detection = Detection(
+            spec="oracle",
+            user_labels=labels,
+            user_scores=np.isin(labels, truth).astype(np.float64),
+        )
+        metrics = evaluate_detection(detection, dataset.blacklist, k=truth.size)
+        assert metrics["best_f1"] == 1.0
+        assert metrics["precision_at_k"] == 1.0
+
+    def test_curve_max_points_caps_length(self, dataset, detections):
+        full = detection_curve(detections["ensemfdet"], dataset.blacklist)
+        capped = detection_curve(detections["ensemfdet"], dataset.blacklist, max_points=3)
+        assert len(full) == CONTEXT.n_samples
+        assert len(capped) <= 3
+
+    def test_score_curve_path(self, dataset, detections):
+        curve = detection_curve(detections["degree"], dataset.blacklist, max_points=10)
+        assert 0 < len(curve) <= 10

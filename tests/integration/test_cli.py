@@ -81,6 +81,65 @@ class TestDetectCommand:
         assert outputs[0] == outputs[1]
 
 
+class TestDetectorFlag:
+    @pytest.mark.parametrize(
+        "spec", ["fraudar:n_blocks=3", "degree", "degree:weighted=1", "fdet:max_blocks=3"]
+    )
+    def test_registry_specs_run(self, edges_file, capsys, spec):
+        code = main(["detect", str(edges_file), "--detector", spec, "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fitted" in out
+        assert "user\t" in out
+
+    def test_ensemble_spec_honours_flags(self, edges_file, capsys):
+        code = main(
+            ["detect", str(edges_file), "--detector", "ensemfdet",
+             "--ratio", "0.4", "--samples", "6", "--executor", "serial", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# ensemfdet:" in out
+        # at most 3 ranked users printed
+        assert sum(1 for line in out.splitlines() if line.startswith("user\t")) <= 3
+
+    def test_unknown_spec_fails_loudly(self, edges_file):
+        from repro.errors import DetectionError
+
+        with pytest.raises(DetectionError, match="unknown detector"):
+            main(["detect", str(edges_file), "--detector", "oracle"])
+
+    def test_threshold_with_detector_rejected(self, edges_file, capsys):
+        # --threshold is meaningless on the ranking path; it must fail
+        # loudly instead of being silently dropped
+        code = main(
+            ["detect", str(edges_file), "--detector", "degree", "--threshold", "3"]
+        )
+        assert code == 2
+        assert "--threshold has no effect" in capsys.readouterr().err
+
+    def test_ensemble_spec_reports_sampler(self, edges_file, capsys):
+        code = main(
+            ["detect", str(edges_file), "--detector", "ensemfdet",
+             "--ratio", "0.4", "--samples", "6", "--executor", "serial", "--top", "1"]
+        )
+        assert code == 0
+        assert "# sampler: StableEdgeSampler" in capsys.readouterr().out
+
+
+class TestDetectorsCommand:
+    def test_lists_registry(self, capsys):
+        from repro.detectors import DETECTOR_NAMES
+
+        code = main(["detectors", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in DETECTOR_NAMES:
+            assert name in out
+        assert "streaming" in out
+        assert "parity=" in out
+
+
 class TestDatasetCommand:
     def test_generates_loadable_dataset(self, tmp_path, capsys):
         outdir = tmp_path / "jd"
@@ -233,3 +292,29 @@ class TestScenarioCommand:
 
         with pytest.raises(ScenarioError, match="unknown scenario"):
             main(["scenario", "--scenarios", "bogus", "--intensities", "1.0"])
+
+    def test_registry_spec_detectors(self, capsys):
+        """Parameterised specs pass through the comma-separated flag
+        (params stay attached to their spec)."""
+        code = main(
+            [
+                "scenario",
+                "--scenarios", "naive_block",
+                "--intensities", "1.0",
+                "--detectors", "degree:weighted=1,fraudar:n_blocks=2",
+                "--scale", "0.12",
+                "--samples", "6",
+                "--ratio", "0.4",
+                "--stripe", "32",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degree:weighted=1" in out
+        assert "fraudar:n_blocks=2" in out
+
+    def test_unknown_detector_fails_loudly(self):
+        from repro.errors import ScenarioError
+
+        with pytest.raises(ScenarioError, match="unknown detectors"):
+            main(["scenario", "--scenarios", "naive_block", "--detectors", "oracle"])

@@ -18,7 +18,6 @@ from repro import (
 )
 from repro.fdet import FdetConfig
 from repro.graph import GraphBuilder, load_edge_list, save_edge_list
-from repro.metrics import max_detected_gap
 
 
 class TestToyPipeline:
@@ -120,8 +119,8 @@ class TestBlacklistEvaluationPipeline:
             rng=rng,
         )
         # a perfect detector flags exactly the planted users
-        from repro.metrics import evaluate_detection
+        from repro.metrics import detection_confusion
 
-        confusion = evaluate_detection(toy.clean_fraud_labels, noisy)
+        confusion = detection_confusion(toy.clean_fraud_labels, noisy)
         assert confusion.precision <= 0.75
         assert confusion.recall <= 0.75

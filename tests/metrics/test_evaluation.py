@@ -9,8 +9,8 @@ from repro.datasets import Blacklist
 from repro.ensemble import EnsemFDet, EnsemFDetConfig
 from repro.fdet import FdetConfig
 from repro.metrics import (
+    detection_confusion,
     ensemble_threshold_curve,
-    evaluate_detection,
     fraudar_block_curve,
     score_curve,
 )
@@ -24,17 +24,17 @@ def fitted(toy):
     return EnsemFDet(config).fit(toy.graph)
 
 
-class TestEvaluateDetection:
+class TestDetectionConfusion:
     def test_against_blacklist(self):
         blacklist = Blacklist([1, 2, 3])
-        confusion = evaluate_detection(np.array([2, 3, 4]), blacklist)
+        confusion = detection_confusion(np.array([2, 3, 4]), blacklist)
         assert confusion.tp == 2
         assert confusion.fp == 1
         assert confusion.fn == 1
 
     def test_with_population(self):
         blacklist = Blacklist([0])
-        confusion = evaluate_detection(np.array([0]), blacklist, n_population=10)
+        confusion = detection_confusion(np.array([0]), blacklist, n_population=10)
         assert confusion.tn == 9
 
 

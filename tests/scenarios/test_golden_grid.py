@@ -23,11 +23,13 @@ from repro.scenarios import ScenarioGridConfig, run_grid
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "scenario_grid.json"
 
-#: the pinned grid — small, serial, fully deterministic
+#: the pinned grid — small, serial, fully deterministic. ``degree`` is a
+#: registry-only backend (no hand-written harness glue ever existed for
+#: it); its cells pin the score-curve evaluation path end to end.
 GOLDEN_CONFIG = ScenarioGridConfig(
     scenarios=("naive_block", "camouflage", "staged"),
     intensities=(1.0,),
-    detectors=("ensemfdet", "incremental"),
+    detectors=("ensemfdet", "incremental", "degree"),
     scale=0.15,
     seed=7,
     n_samples=8,

@@ -120,12 +120,82 @@ class TestFraudarBackend:
         assert rows[0]["n_updates"] == 0
 
 
+class TestRegistryBackends:
+    def test_every_registered_detector_runs(self):
+        """Any registry spec — including the four that never had
+        hand-written harness glue — produces a well-formed grid cell."""
+        config = ScenarioGridConfig(
+            scenarios=("naive_block",),
+            intensities=(1.0,),
+            detectors=DETECTOR_NAMES,
+            **TINY,
+        )
+        rows = run_grid(config).rows
+        assert [row["detector"] for row in rows] == list(DETECTOR_NAMES)
+        for row in rows:
+            assert 0.0 <= row["best_f1"] <= 1.0
+            assert 0.0 <= row["auc_pr"] <= 1.0
+            assert 0.0 <= row["precision_at_k"] <= 1.0
+
+    def test_parameterised_specs_reach_detectors(self):
+        config = ScenarioGridConfig(
+            scenarios=("naive_block",),
+            intensities=(1.0,),
+            detectors=("fraudar:n_blocks=2", "degree:weighted=1"),
+            **TINY,
+        )
+        rows = run_grid(config).rows
+        assert [row["detector"] for row in rows] == [
+            "fraudar:n_blocks=2", "degree:weighted=1"
+        ]
+        # a 2-block Fraudar has at most 2 operating points
+        assert rows[0]["best_threshold"] in (1, 2)
+
+    def test_specs_normalise_to_canonical_form(self):
+        config = ScenarioGridConfig(
+            detectors=("FRAUDAR:N_BLOCKS=2", "Degree"),
+            scenarios=("naive_block",),
+            intensities=(1.0,),
+            **TINY,
+        )
+        assert config.detectors == ("fraudar:n_blocks=2", "degree")
+
+    def test_duplicate_specs_rejected(self):
+        with pytest.raises(ScenarioError, match="duplicate"):
+            ScenarioGridConfig(detectors=("degree", "DEGREE"))
+
+    def test_bad_spec_parameter_rejected(self):
+        with pytest.raises(ScenarioError, match="bad detector spec"):
+            ScenarioGridConfig(detectors=("fraudar:bogus=1",))
+
+    def test_differently_configured_ensembles_may_diverge(self):
+        """Parity is only enforced between specs whose resolved configs
+        match — an ensemble with an overridden sampler (or N) next to the
+        incremental detector must not abort the grid."""
+        config = ScenarioGridConfig(
+            scenarios=("naive_block",),
+            intensities=(1.0,),
+            detectors=("ensemfdet:sampler=res", "incremental", "ensemfdet:n=4"),
+            **TINY,
+        )
+        rows = run_grid(config).rows  # must not raise ScenarioError
+        assert len(rows) == 3
+
+
 class TestEvaluateCell:
     def test_unknown_detector(self):
         config = ScenarioGridConfig(scenarios=("naive_block",), intensities=(1.0,), **TINY)
         instance = make_scenario("naive_block").generate(scale=0.1, seed=0)
         with pytest.raises(ScenarioError, match="unknown detector"):
             evaluate_cell(instance, "oracle", config)
+
+    def test_bad_parameter_raises_scenario_error(self):
+        # the harness's error contract is ScenarioError even for spec
+        # parameter errors, not a leaked DetectionError
+        config = ScenarioGridConfig(scenarios=("naive_block",), intensities=(1.0,), **TINY)
+        instance = make_scenario("naive_block").generate(scale=0.1, seed=0)
+        with pytest.raises(ScenarioError, match="unknown parameter"):
+            evaluate_cell(instance, "fraudar:bogus=1", config)
 
 
 class TestArtifacts:
