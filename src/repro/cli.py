@@ -43,12 +43,18 @@ from .detectors import (
     make_detector,
     split_detector_specs,
 )
-from .ensemble import DetectionResult, EnsemFDet, EnsemFDetConfig, IncrementalEnsemFDet
+from .ensemble import (
+    DetectionResult,
+    EnsemFDet,
+    EnsemFDetConfig,
+    IncrementalEnsemFDet,
+    state_backup_path,
+)
 from .experiments.runner import main as experiments_main
 from .fdet import FdetConfig, PeelEngine
 from .graph import EdgeBatch, GraphAccumulator, describe, iter_edge_batches, load_edge_list
 from .graph.io import _iter_rows
-from .parallel import ExecutorMode
+from .parallel import ExecutorMode, FaultTolerance
 from .sampling import RandomEdgeSampler, StableEdgeSampler
 from .scenarios import (
     SCENARIO_NAMES,
@@ -220,10 +226,48 @@ def _read_rows(
     )
 
 
+def _state_exists(state_path: Path) -> bool:
+    """True when a snapshot *or* its rolling backup is on disk.
+
+    A crash between backup rotation and commit can leave only the ``.bak``
+    behind — that is still resumable state, not a cold start.
+    """
+    return state_path.exists() or state_backup_path(state_path).exists()
+
+
+def _load_state(state_path: Path) -> IncrementalEnsemFDet:
+    """Load saved state, auto-recovering from the ``.bak`` snapshot."""
+    detector, recovered_from = IncrementalEnsemFDet.load_with_recovery(state_path)
+    if recovered_from is not None:
+        print(
+            f"# warning: {state_path} was corrupt or missing; recovered from "
+            f"{recovered_from} (changes after that snapshot will be re-applied "
+            "from the source file)",
+            file=sys.stderr,
+        )
+    return detector
+
+
+def _report_degradation(report) -> None:
+    """Warn on stderr when an update left members with stale votes."""
+    if report.failed_members:
+        kinds = ", ".join(
+            f"member {f.index}: {f.kind} after {f.attempts} attempt(s)"
+            for f in report.failed_members
+        )
+        print(f"# warning: degraded update — {kinds}", file=sys.stderr)
+    if report.stale_members:
+        print(
+            f"# warning: {len(report.stale_members)} member(s) carry stale "
+            f"votes: {list(report.stale_members)}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     state_path = Path(args.state)
-    if state_path.exists():
-        detector = IncrementalEnsemFDet.load(state_path)
+    if _state_exists(state_path):
+        detector = _load_state(state_path)
         # the state may hold more edges than this file contributed (e.g.
         # deltas applied via 'ensemfdet update'), so the file offset is
         # tracked separately in the state's meta, not inferred from |E|
@@ -250,6 +294,11 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             executor=args.executor,
             seed=args.seed,
             shared_memory=not args.no_shm,
+            tolerance=FaultTolerance(
+                member_timeout=args.member_timeout,
+                max_retries=args.max_retries,
+                min_quorum=args.min_quorum,
+            ),
         )
         detector = IncrementalEnsemFDet(config)
         detector.fit(graph)
@@ -270,6 +319,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         if not users.size:
             continue
         report = detector.update(users, merchants, weights)
+        _report_degradation(report)
         consumed += report.n_new_edges
         detector.meta["watch_rows"] = consumed
         detector.save(state_path)
@@ -284,12 +334,13 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 def _cmd_update(args: argparse.Namespace) -> int:
     state_path = Path(args.state)
-    if not state_path.exists():
+    if not _state_exists(state_path):
         print(f"no detection state at {state_path}; run 'ensemfdet watch' first", file=sys.stderr)
         return 2
-    detector = IncrementalEnsemFDet.load(state_path)
+    detector = _load_state(state_path)
     users, merchants, weights = _read_rows(args.delta, headerless_ok=True)
     report = detector.update(users, merchants, weights)
+    _report_degradation(report)
     detector.save(state_path)
     threshold = _default_threshold(args.threshold, detector.config.n_samples)
     print(
@@ -452,6 +503,26 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=-1,
         help="poll rounds before exiting (-1 = watch forever, 0 = fit/print once)",
+    )
+    watch.add_argument(
+        "--member-timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget per ensemble member in seconds "
+        "(cold fit only; stored in the state)",
+    )
+    watch.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry rounds for failed ensemble members (cold fit only)",
+    )
+    watch.add_argument(
+        "--min-quorum",
+        type=float,
+        default=0.5,
+        help="minimum surviving ensemble fraction before a fit/update "
+        "raises instead of degrading (cold fit only)",
     )
     watch.set_defaults(func=_cmd_watch)
 

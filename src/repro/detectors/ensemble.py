@@ -83,6 +83,26 @@ def _threshold_sweep(
     )
 
 
+def degraded_meta(result) -> dict:
+    """Degraded-mode annotations for ``Detection.meta`` (empty when clean).
+
+    Populated from an :class:`~repro.ensemble.EnsemFDetResult` whose fit
+    lost members: who failed (kind, error, attempts), the surviving
+    quorum, how a caller-facing threshold is rescaled, and the retry
+    history. Absent keys mean the fit was fault-free.
+    """
+    meta: dict = {}
+    if getattr(result, "failed_members", ()):
+        meta["failed_members"] = [f.as_dict() for f in result.failed_members]
+        meta["effective_quorum"] = result.effective_quorum
+        meta["threshold_scale"] = result.vote_table.n_samples / result.config.n_samples
+    retry_log = getattr(result, "retry_log", ())
+    if len(retry_log) > 1:
+        meta["n_retries"] = len(retry_log) - 1
+        meta["retry_log"] = [dict(entry) for entry in retry_log]
+    return meta
+
+
 def detection_from_votes(
     spec: str,
     graph: BipartiteGraph,
@@ -194,6 +214,7 @@ class EnsembleDetector:
                 "sampler": _describe_sampler(self.config),
                 "sampling_seconds": result.sampling_seconds,
                 "detection_seconds": result.detection_seconds,
+                **degraded_meta(result),
             },
         )
 
@@ -240,12 +261,16 @@ class IncrementalDetector:
             detector = IncrementalEnsemFDet(self.config)
             detector.fit(background)
             refreshed = 0
+            failed: list[dict] = []
+            stale: tuple[int, ...] = ()
             batches = list(batches)
             for batch in batches:
                 report = detector.update(batch.users, batch.merchants, batch.weights)
                 refreshed += report.n_refreshed
-        return self._detection(
-            detector,
-            timer.elapsed,
-            {"n_updates": len(batches), "n_refreshed": refreshed},
-        )
+                failed.extend(f.as_dict() for f in report.failed_members)
+                stale = report.stale_members
+        meta: dict = {"n_updates": len(batches), "n_refreshed": refreshed}
+        if failed:
+            meta["failed_members"] = failed
+            meta["stale_members"] = list(stale)
+        return self._detection(detector, timer.elapsed, meta)

@@ -6,9 +6,18 @@ from .results import (
     DetectionResult,
     DetectionState,
     load_detection_state,
+    load_detection_state_with_recovery,
     save_detection_state,
+    state_backup_path,
 )
-from .runner import SampleDetection, detect_on_plans, detect_on_samples
+from .runner import (
+    MemberFailure,
+    MemberRun,
+    SampleDetection,
+    detect_on_plans,
+    detect_on_samples,
+    run_members,
+)
 from .soft_voting import SoftVoteTable, soft_threshold_sweep, soft_votes_from_detections
 from .voting import VoteTable, majority_vote, normalized_majority_vote
 
@@ -22,9 +31,14 @@ __all__ = [
     "DetectionState",
     "save_detection_state",
     "load_detection_state",
+    "load_detection_state_with_recovery",
+    "state_backup_path",
+    "MemberFailure",
+    "MemberRun",
     "SampleDetection",
     "detect_on_plans",
     "detect_on_samples",
+    "run_members",
     "VoteTable",
     "majority_vote",
     "normalized_majority_vote",

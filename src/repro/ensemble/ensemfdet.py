@@ -20,17 +20,18 @@ re-detecting.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import DetectionError
+from ..errors import DetectionError, QuorumError
 from ..fdet import FdetConfig, FdetResult
 from ..graph import BipartiteGraph
-from ..parallel import ExecutorMode, ReusablePool, Timer
+from ..parallel import ExecutorMode, FaultTolerance, ReusablePool, Timer
 from ..sampling import RandomEdgeSampler, Sampler, resolve_rng
 from .results import DetectionResult
-from .runner import SampleDetection, detect_on_plans
+from .runner import MemberFailure, MemberRun, SampleDetection, _raise_first_failure, run_members
 from .voting import VoteTable, majority_vote
 
 __all__ = ["EnsemFDetConfig", "EnsemFDetResult", "EnsemFDet"]
@@ -63,6 +64,14 @@ class EnsemFDetConfig:
         shared-memory :class:`~repro.graph.GraphStore` segment instead of
         pickling graph bytes into every worker. Disable to force the
         pickled-store fallback (debugging, exotic platforms).
+    tolerance:
+        Degraded-mode policy for the detection stage: per-member timeout,
+        bounded deterministic retries with backend degradation, and the
+        minimum surviving quorum below which a fit raises
+        :class:`~repro.errors.QuorumError` instead of returning a weak
+        vote table. The default retries twice and accepts a half-strength
+        ensemble; :meth:`FaultTolerance.strict` restores fail-fast
+        semantics. Zero overhead while nothing fails.
     """
 
     sampler: Sampler = field(default_factory=lambda: RandomEdgeSampler(0.1))
@@ -73,6 +82,7 @@ class EnsemFDetConfig:
     seed: int | None = None
     track_appearances: bool = False
     shared_memory: bool = True
+    tolerance: FaultTolerance = field(default_factory=FaultTolerance)
 
     def __post_init__(self) -> None:
         if self.n_samples < 1:
@@ -86,27 +96,59 @@ class EnsemFDetConfig:
 
 @dataclass(frozen=True)
 class EnsemFDetResult:
-    """Fitted ensemble: vote table + per-sample detections + timings."""
+    """Fitted ensemble: vote table + per-sample detections + timings.
+
+    ``sample_detections`` holds only the *surviving* members; when the
+    fit degraded, ``failed_members`` records who dropped out (and why)
+    and ``retry_log`` the per-attempt history. Voting thresholds passed
+    to :meth:`detect` are always expressed against the configured
+    ensemble size ``N`` and rescaled internally to the survivors.
+    """
 
     config: EnsemFDetConfig
     vote_table: VoteTable
     sample_detections: tuple[SampleDetection, ...]
     sampling_seconds: float
     detection_seconds: float
+    failed_members: tuple[MemberFailure, ...] = ()
+    retry_log: tuple[dict, ...] = ()
 
     @property
     def n_samples(self) -> int:
-        """Ensemble size ``N``."""
+        """Surviving ensemble size (``== config.n_samples`` unless degraded)."""
         return self.vote_table.n_samples
+
+    @property
+    def n_failed(self) -> int:
+        """Members that produced no detection after every retry."""
+        return len(self.failed_members)
+
+    @property
+    def effective_quorum(self) -> float:
+        """Surviving fraction of the configured ensemble."""
+        return self.vote_table.n_samples / self.config.n_samples
 
     @property
     def total_seconds(self) -> float:
         """Wall-clock spent sampling plus detecting."""
         return self.sampling_seconds + self.detection_seconds
 
+    def effective_threshold(self, threshold: int) -> int:
+        """Rescale a threshold meant for ``N`` members to the survivors.
+
+        A caller asking for ``T`` votes out of the configured ``N`` keeps
+        the same *fraction* of the ensemble when only ``n`` members
+        survived: ``max(1, ceil(T·n/N))``. Identity when nothing failed.
+        """
+        survivors = self.vote_table.n_samples
+        configured = self.config.n_samples
+        if survivors == configured:
+            return threshold
+        return max(1, math.ceil(threshold * survivors / configured))
+
     def detect(self, threshold: int) -> DetectionResult:
-        """Apply MVA at voting threshold ``T``."""
-        return majority_vote(self.vote_table, threshold)
+        """Apply MVA at voting threshold ``T`` (of the configured ``N``)."""
+        return majority_vote(self.vote_table, self.effective_threshold(threshold))
 
     def sweep_thresholds(
         self, thresholds: list[int] | None = None
@@ -123,6 +165,34 @@ class EnsemFDetResult:
     def block_score_series(self) -> list[np.ndarray]:
         """Per-sample block-density series — the data behind paper Fig. 1."""
         return [detection.result.densities for detection in self.sample_detections]
+
+
+def _enforce_quorum(run: MemberRun, config: EnsemFDetConfig) -> list[SampleDetection]:
+    """Survivor detections, or a typed error when too many members died.
+
+    Full-quorum policies (``min_quorum == 1.0``, e.g.
+    :meth:`FaultTolerance.strict`) re-raise the first member's original
+    exception so fail-fast callers keep exact error types; partial
+    quorums raise :class:`~repro.errors.QuorumError` only when the
+    survivors no longer clear ``tolerance.required_survivors``.
+    """
+    if not run.failures:
+        return run.survivors()
+    tolerance = config.tolerance
+    if tolerance.min_quorum >= 1.0:
+        _raise_first_failure(run)
+    survivors = run.survivors()
+    required = tolerance.required_survivors(config.n_samples)
+    if len(survivors) < required:
+        kinds = sorted({failure.kind for failure in run.failures})
+        raise QuorumError(
+            f"only {len(survivors)}/{config.n_samples} ensemble members "
+            f"survived ({len(run.failures)} failed: {', '.join(kinds)}) — "
+            f"below the configured quorum of {required} "
+            f"(min_quorum={tolerance.min_quorum:g}); first failure: "
+            f"member {run.failures[0].index}: {run.failures[0].error}"
+        )
+    return survivors
 
 
 class EnsemFDet:
@@ -180,7 +250,7 @@ class EnsemFDet:
             plans = config.sampler.plan_many(graph, config.n_samples, rng)
 
         with Timer() as detection_timer:
-            detections = detect_on_plans(
+            run = run_members(
                 graph,
                 plans,
                 config.fdet,
@@ -189,8 +259,10 @@ class EnsemFDet:
                 pool=self.pool,
                 track_members=track_members,
                 shared_memory=config.shared_memory,
+                tolerance=config.tolerance,
             )
 
+        detections = _enforce_quorum(run, config)
         table = VoteTable.from_detections(
             [d.result.detected_users().tolist() for d in detections],
             [d.result.detected_merchants().tolist() for d in detections],
@@ -206,6 +278,8 @@ class EnsemFDet:
             sample_detections=tuple(detections),
             sampling_seconds=sampling_timer.elapsed,
             detection_seconds=detection_timer.elapsed,
+            failed_members=run.failures,
+            retry_log=run.retry_log,
         )
 
     def fit_detect(self, graph: BipartiteGraph, threshold: int) -> DetectionResult:

@@ -28,19 +28,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DetectionError
+from ..errors import DetectionError, QuorumError
 from ..fdet import FdetConfig, LogWeightedDensity, SecondDifferenceRule
 from ..graph import BipartiteGraph, GraphAccumulator
-from ..parallel import ReusablePool, Timer
+from ..parallel import FaultTolerance, ReusablePool, Timer
 from ..sampling import StableEdgeSampler, resolve_rng
 from .ensemfdet import EnsemFDet, EnsemFDetConfig, EnsemFDetResult
 from .results import (
     DetectionResult,
     DetectionState,
     load_detection_state,
+    load_detection_state_with_recovery,
     save_detection_state,
 )
-from .runner import SampleDetection, detect_on_plans
+from .runner import MemberFailure, SampleDetection, _raise_first_failure, run_members
 from .voting import VoteTable, majority_vote
 
 __all__ = ["IncrementalEnsemFDet", "UpdateReport"]
@@ -63,6 +64,14 @@ class UpdateReport:
         Ensemble size ``N`` (for computing the refresh fraction).
     sampling_seconds, detection_seconds:
         Wall-clock of the re-sampling and re-detection stages.
+    failed_members:
+        Members whose refresh failed permanently this update (their
+        previous detection stays in the vote table, now stale).
+    stale_members:
+        Every member currently carrying stale votes (accumulated across
+        updates until a later refresh succeeds).
+    retry_log:
+        Per-attempt history of this update's detection stage.
     """
 
     n_new_edges: int
@@ -70,11 +79,14 @@ class UpdateReport:
     n_samples: int
     sampling_seconds: float
     detection_seconds: float
+    failed_members: tuple[MemberFailure, ...] = ()
+    stale_members: tuple[int, ...] = ()
+    retry_log: tuple[dict, ...] = ()
 
     @property
     def n_refreshed(self) -> int:
-        """How many ensemble members were re-run."""
-        return len(self.refreshed_samples)
+        """How many ensemble members were re-run successfully."""
+        return len(self.refreshed_samples) - len(self.failed_members)
 
     @property
     def total_seconds(self) -> float:
@@ -167,6 +179,9 @@ class IncrementalEnsemFDet:
         self._graph: BipartiteGraph | None = None
         self._samples: list[_SampleState] = []
         self._table: VoteTable | None = None
+        #: members whose last refresh failed permanently — their votes are
+        #: stale until a later update refreshes them successfully
+        self._degraded: set[int] = set()
 
     # ------------------------------------------------------------------
     # fitting & updating
@@ -257,7 +272,7 @@ class IncrementalEnsemFDet:
             plans = [sampler.stripe_plan(inclusion[index]) for index in stale.tolist()]
 
         with Timer() as detection_timer:
-            detections = detect_on_plans(
+            run = run_members(
                 new_graph,
                 plans,
                 config.fdet,
@@ -266,10 +281,32 @@ class IncrementalEnsemFDet:
                 pool=self.pool,
                 track_members=True,
                 shared_memory=config.shared_memory,
+                tolerance=config.tolerance,
             )
 
+        if run.failures and config.tolerance.min_quorum >= 1.0:
+            _raise_first_failure(run)
+
+        # remap positional failure indices back to global member indices
+        stale_indices = stale.tolist()
+        failures = tuple(
+            MemberFailure(
+                index=stale_indices[failure.index],
+                kind=failure.kind,
+                error=failure.error,
+                attempts=failure.attempts,
+            )
+            for failure in run.failures
+        )
+
         table = self._table
-        for index, detection in zip(stale.tolist(), detections):
+        for position, index in enumerate(stale_indices):
+            detection = run.detections[position]
+            if detection is None:
+                # refresh failed permanently: keep the member's previous
+                # (now stale) votes rather than silently dropping them
+                self._degraded.add(index)
+                continue
             old = self._samples[index]
             fresh = _SampleState.from_detection(detection)
             _subtract_votes(table.user_votes, old.detected_users)
@@ -282,14 +319,31 @@ class IncrementalEnsemFDet:
                 _add_votes(table.user_appearances, fresh.sample_users)
                 _add_votes(table.merchant_appearances, fresh.sample_merchants)
             self._samples[index] = fresh
+            self._degraded.discard(index)
+
+        fresh_members = config.n_samples - len(self._degraded)
+        required = config.tolerance.required_survivors(config.n_samples)
+        if fresh_members < required:
+            kinds = sorted({failure.kind for failure in failures})
+            raise QuorumError(
+                f"only {fresh_members}/{config.n_samples} ensemble members "
+                f"hold fresh state after this update ({len(self._degraded)} "
+                f"stale: {sorted(self._degraded)}; failure kinds: "
+                f"{', '.join(kinds) or 'carried over'}) — below the "
+                f"configured quorum of {required} "
+                f"(min_quorum={config.tolerance.min_quorum:g})"
+            )
 
         self._graph = new_graph
         return UpdateReport(
             n_new_edges=stop - start,
-            refreshed_samples=tuple(int(i) for i in stale.tolist()),
+            refreshed_samples=tuple(int(i) for i in stale_indices),
             n_samples=config.n_samples,
             sampling_seconds=sampling_timer.elapsed,
             detection_seconds=detection_timer.elapsed,
+            failed_members=failures,
+            stale_members=tuple(sorted(self._degraded)),
+            retry_log=run.retry_log,
         )
 
     def update_edges(self, edges, weights=None) -> UpdateReport:
@@ -331,6 +385,7 @@ class IncrementalEnsemFDet:
                 "n_workers": config.n_workers,
                 "track_appearances": config.track_appearances,
                 "shared_memory": config.shared_memory,
+                "tolerance": config.tolerance.as_dict(),
             },
             "sampler": {"ratio": sampler.ratio, "stripe": sampler.stripe},
             "fdet": {
@@ -369,11 +424,18 @@ class IncrementalEnsemFDet:
             track_appearances=ensemble["track_appearances"],
             # absent in states saved before the zero-copy fan-out refactor
             shared_memory=ensemble.get("shared_memory", True),
+            # absent in states saved before the fault-tolerance layer
+            tolerance=FaultTolerance.from_dict(ensemble.get("tolerance")),
         )
 
     def state(self) -> DetectionState:
         """Snapshot the warm state as a serialisable :class:`DetectionState`."""
         self._require_fitted()
+        meta = dict(self.meta)
+        if self._degraded:
+            meta["degraded_members"] = sorted(self._degraded)
+        else:
+            meta.pop("degraded_members", None)
         return DetectionState(
             config=self._config_dict(),
             graph=self._graph,
@@ -381,7 +443,7 @@ class IncrementalEnsemFDet:
             detected_merchants=[s.detected_merchants for s in self._samples],
             sample_users=[s.sample_users for s in self._samples],
             sample_merchants=[s.sample_merchants for s in self._samples],
-            meta=self.meta,
+            meta=meta,
         )
 
     def save(self, path) -> None:
@@ -401,6 +463,9 @@ class IncrementalEnsemFDet:
             )
         detector = cls(config, pool=pool)
         detector.meta = dict(state.meta)
+        detector._degraded = set(
+            int(i) for i in detector.meta.pop("degraded_members", [])
+        )
         detector._graph = state.graph
         detector._samples = [
             _SampleState(
@@ -432,3 +497,19 @@ class IncrementalEnsemFDet:
     def load(cls, path, pool: ReusablePool | None = None) -> "IncrementalEnsemFDet":
         """Rebuild a live detector from a saved state archive."""
         return cls.from_state(load_detection_state(path), pool=pool)
+
+    @classmethod
+    def load_with_recovery(
+        cls, path, pool: ReusablePool | None = None
+    ) -> tuple["IncrementalEnsemFDet", str | None]:
+        """Like :meth:`load`, falling back to the ``.bak`` snapshot.
+
+        When the primary archive is corrupt (checksum mismatch, truncated
+        write, flipped bytes) but its rolling backup still verifies, the
+        detector is rebuilt from the backup. Returns the detector plus the
+        path actually loaded when recovery kicked in (``None`` for a clean
+        primary load). Raises :class:`~repro.errors.StateChecksumError`
+        when both copies are unreadable.
+        """
+        state, recovered_from = load_detection_state_with_recovery(path)
+        return cls.from_state(state, pool=pool), recovered_from

@@ -8,18 +8,36 @@ sample contents, and a JSON-able config fingerprint — and
 :func:`save_detection_state` / :func:`load_detection_state` round-trip it
 through a single ``.npz`` archive (ragged per-sample arrays are packed as
 one concatenated array plus offsets).
+
+Persistence is crash-safe:
+
+* **Atomic commit** — the archive is written to a ``.tmp`` sibling,
+  fsynced, and renamed over the target (``os.replace``); the previous
+  snapshot is first rotated to a rolling ``.bak``. A crash at any byte
+  leaves either the old snapshot, the backup, or both on disk — never a
+  half-written primary.
+* **Integrity** — format v2 stores a per-array CRC-32 manifest; any byte
+  flip in the payload fails either the zip container's own CRC or the
+  manifest and surfaces as :class:`~repro.errors.StateChecksumError`,
+  never as a silently-wrong vote table. v1 archives (pre-checksum) still
+  load.
+* **Recovery** — :func:`load_detection_state_with_recovery` falls back to
+  the ``.bak`` snapshot when the primary is corrupt or missing, which is
+  what the ``watch``/``update`` CLI uses to resume after a crash.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from ..errors import DetectionError
+from ..errors import DetectionError, StateChecksumError, StateError
+from ..faults import fault_point
 from ..graph import BipartiteGraph
 
 __all__ = [
@@ -27,10 +45,15 @@ __all__ = [
     "DetectionState",
     "save_detection_state",
     "load_detection_state",
+    "load_detection_state_with_recovery",
+    "state_backup_path",
 ]
 
 #: bumped whenever the archive layout changes incompatibly
-STATE_FORMAT_VERSION = 1
+STATE_FORMAT_VERSION = 2
+
+#: older formats this build still reads (v1: no checksum manifest)
+_LEGACY_FORMAT_VERSIONS = (1,)
 
 
 @dataclass(frozen=True)
@@ -126,8 +149,49 @@ def _unpack_ragged(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
     ]
 
 
+def _array_crc(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+def _npz_path(path: str | os.PathLike[str]) -> Path:
+    # mirror np.savez's implicit suffix so save and load agree on the name
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def state_backup_path(path: str | os.PathLike[str]) -> Path:
+    """The rolling backup sibling of a state archive.
+
+    Named ``<stem>.bak.npz`` (not ``…npz.bak``) so the backup is itself a
+    well-formed archive path: every loader normalises through
+    :func:`_npz_path`, which must leave the backup name untouched.
+    """
+    path = _npz_path(path)
+    return path.with_name(path.name[: -len(".npz")] + ".bak.npz")
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make renames inside ``directory`` durable (best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def save_detection_state(state: DetectionState, path: str | os.PathLike[str]) -> None:
-    """Serialise a :class:`DetectionState` to one compressed ``.npz``."""
+    """Serialise a :class:`DetectionState` to one compressed ``.npz``.
+
+    The write is atomic: bytes land in a ``.tmp`` sibling first (fsynced),
+    any existing snapshot is rotated to ``.bak``, and the tmp file is
+    renamed into place. A crash at any point leaves a loadable snapshot —
+    the previous one, its backup, or the new one — never a torn file.
+    """
     graph = state.graph
     arrays: dict[str, np.ndarray] = {
         "format_version": np.array([STATE_FORMAT_VERSION], dtype=np.int64),
@@ -154,19 +218,63 @@ def save_detection_state(state: DetectionState, path: str | os.PathLike[str]) ->
         flat, offsets = _pack_ragged(ragged)
         arrays[f"{name}_flat"] = flat
         arrays[f"{name}_offsets"] = offsets
-    np.savez_compressed(Path(path), **arrays)
+    checksums = {name: _array_crc(array) for name, array in arrays.items()}
+    arrays["checksums_json"] = np.frombuffer(
+        json.dumps(checksums, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+
+    path = _npz_path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    backup = state_backup_path(path)
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("state.write", stage="tmp_written", path=str(path))
+        if path.exists():
+            os.replace(path, backup)
+            _fsync_directory(path.parent)
+        fault_point("state.write", stage="backup_done", path=str(path))
+        os.replace(tmp, path)
+        _fsync_directory(path.parent)
+        fault_point("state.write", stage="committed", path=str(path))
+    except BaseException:
+        # never leave a stray tmp behind on a surfaced failure (a hard
+        # crash may — the next save simply overwrites it)
+        tmp.unlink(missing_ok=True)
+        raise
 
 
-def load_detection_state(path: str | os.PathLike[str]) -> DetectionState:
-    """Load a state archive written by :func:`save_detection_state`."""
-    path = Path(path)
+def _verify_checksums(path: Path, data) -> None:
+    try:
+        manifest = json.loads(bytes(data["checksums_json"].tobytes()).decode("utf-8"))
+    except KeyError:
+        raise StateChecksumError(
+            f"{path}: v{STATE_FORMAT_VERSION} archive is missing its checksum "
+            "manifest — the file is corrupt or was tampered with"
+        ) from None
+    for name, expected in manifest.items():
+        actual = _array_crc(data[name])
+        if actual != int(expected):
+            raise StateChecksumError(
+                f"{path}: checksum mismatch on array {name!r} "
+                f"(stored {int(expected):#010x}, computed {actual:#010x}); "
+                "the snapshot is corrupt — recover from the .bak backup or re-fit"
+            )
+
+
+def _read_state(path: Path) -> DetectionState:
     with np.load(path) as data:
         version = int(data["format_version"][0])
-        if version != STATE_FORMAT_VERSION:
-            raise DetectionError(
+        if version != STATE_FORMAT_VERSION and version not in _LEGACY_FORMAT_VERSIONS:
+            raise StateError(
                 f"{path}: detection-state format v{version} is not supported "
-                f"(this build reads v{STATE_FORMAT_VERSION})"
+                f"(this build reads v{STATE_FORMAT_VERSION} and legacy "
+                f"{list(_LEGACY_FORMAT_VERSIONS)})"
             )
+        if version >= 2:
+            _verify_checksums(path, data)
         config = json.loads(bytes(data["config_json"].tobytes()).decode("utf-8"))
         meta = json.loads(bytes(data["meta_json"].tobytes()).decode("utf-8"))
         graph = BipartiteGraph(
@@ -189,5 +297,63 @@ def load_detection_state(path: str | os.PathLike[str]) -> DetectionState:
         }
     counts = {name: len(values) for name, values in ragged.items()}
     if len(set(counts.values())) != 1:
-        raise DetectionError(f"{path}: inconsistent per-sample array counts {counts}")
+        raise StateChecksumError(
+            f"{path}: inconsistent per-sample array counts {counts}"
+        )
     return DetectionState(config=config, graph=graph, meta=meta, **ragged)
+
+
+def load_detection_state(path: str | os.PathLike[str]) -> DetectionState:
+    """Load a state archive written by :func:`save_detection_state`.
+
+    Any corruption — a truncated file, a flipped byte anywhere in the
+    payload (caught by the zip container's CRC or the v2 per-array
+    manifest), unreadable JSON — raises
+    :class:`~repro.errors.StateChecksumError`; an unsupported format
+    version raises :class:`~repro.errors.StateError`. A missing file
+    raises ``FileNotFoundError`` (it is not corruption).
+    """
+    path = _npz_path(path)
+    try:
+        return _read_state(path)
+    except (DetectionError, FileNotFoundError):
+        raise
+    except Exception as exc:
+        raise StateChecksumError(
+            f"{path}: state archive is unreadable "
+            f"({type(exc).__name__}: {exc}); the snapshot is corrupt or "
+            "truncated — recover from the .bak backup or re-fit"
+        ) from exc
+
+
+def load_detection_state_with_recovery(
+    path: str | os.PathLike[str],
+) -> tuple[DetectionState, str | None]:
+    """Load a state archive, falling back to its rolling ``.bak``.
+
+    Returns ``(state, recovered_from)`` where ``recovered_from`` is the
+    backup path when the primary was corrupt or missing and the backup
+    verified, or ``None`` for a clean primary load. Raises
+    ``FileNotFoundError`` when neither file exists and
+    :class:`~repro.errors.StateChecksumError` when both exist but neither
+    verifies.
+    """
+    path = _npz_path(path)
+    backup = state_backup_path(path)
+    try:
+        return load_detection_state(path), None
+    except FileNotFoundError:
+        if not backup.exists():
+            raise
+        return load_detection_state(backup), str(backup)
+    except (StateError, StateChecksumError) as primary_error:
+        if not backup.exists():
+            raise
+        try:
+            return load_detection_state(backup), str(backup)
+        except (StateError, StateChecksumError, FileNotFoundError) as backup_error:
+            raise StateChecksumError(
+                f"{path}: both the snapshot and its backup are unreadable "
+                f"(primary: {primary_error}; backup: {backup_error}); "
+                "the state cannot be recovered — re-fit from the source data"
+            ) from backup_error

@@ -14,9 +14,22 @@ Two fan-out shapes live here:
   segment and materialize against the in-process graph directly.
 * :func:`detect_on_samples` — the historical eager shape, mapping already
   materialized subgraphs. Kept for callers that hold real subgraphs (and
-  as the reference the plan pipeline is parity-tested against). Process
-  runs still chunk one submission per worker so the ``FdetConfig`` is
-  pickled once per chunk, but every subgraph crosses the boundary.
+  as the reference the plan pipeline is parity-tested against).
+
+Both are thin shells over :func:`run_members`, the fault-tolerant member
+engine. Every attempt records which members ran and which failed; failed
+members are retried under the :class:`~repro.parallel.FaultTolerance`
+policy — per-member wall-clock timeouts (hung workers are SIGKILLed and
+the pool respawned), bounded deterministic backoff, automatic backend
+degradation (process → thread → serial) and shared-memory → pickled-store
+fallback — and whatever still fails after the last round comes back as a
+typed :class:`MemberFailure` instead of an exception. The parent-side
+shared segment is unlinked on **every** exit path (normal, crash, timeout,
+KeyboardInterrupt), backstopped by the store's ``weakref.finalize``.
+
+Because plans re-materialize deterministically, a member that fails and
+then succeeds on retry produces a detection bitwise-identical to a
+fault-free run — the invariant the chaos suite pins down.
 
 Results come back in sample order regardless of backend, and
 ``track_members=False`` skips recording each sample's node labels when no
@@ -26,15 +39,40 @@ layer do; plain MVA does not).
 
 from __future__ import annotations
 
+import time as _time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from ..errors import GraphError, InjectedFault, MemberTimeoutError, WorkerCrashError
+from ..faults import fault_point
 from ..fdet import Fdet, FdetConfig, FdetResult
 from ..graph import BipartiteGraph, GraphStore, StoreLayout, attached_store
-from ..parallel import ExecutorMode, ReusablePool, default_workers, parallel_map
+from ..parallel import (
+    ExecutorMode,
+    FaultTolerance,
+    ReusablePool,
+    default_workers,
+    kill_executor_workers,
+    parallel_map,
+)
+from ..parallel.executor import _process_context
 from ..sampling import SamplePlan, materialize_plan
 
-__all__ = ["detect_on_samples", "detect_on_plans", "SampleDetection"]
+__all__ = [
+    "detect_on_samples",
+    "detect_on_plans",
+    "run_members",
+    "SampleDetection",
+    "MemberFailure",
+    "MemberRun",
+]
+
+#: failure classification recorded per member
+FAIL_CRASH = "crash"  # the worker process died under the member
+FAIL_TIMEOUT = "timeout"  # the member (chunk) exceeded its wall-clock budget
+FAIL_SHM = "shm"  # the worker could not attach the shared graph segment
+FAIL_ERROR = "error"  # the member's own code raised
 
 
 @dataclass(frozen=True)
@@ -49,6 +87,57 @@ class SampleDetection:
     result: FdetResult
     sample_users: tuple[int, ...] | None = None
     sample_merchants: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class MemberFailure:
+    """One ensemble member that still had no detection after every retry."""
+
+    index: int
+    kind: str  # one of FAIL_CRASH / FAIL_TIMEOUT / FAIL_SHM / FAIL_ERROR
+    error: str
+    attempts: int
+
+    def as_dict(self) -> dict:
+        """JSON-able form (for ``Detection.meta`` / state annotations)."""
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class MemberRun:
+    """Everything one fault-tolerant fan-out produced.
+
+    ``detections[i]`` is ``None`` exactly when member ``i`` appears in
+    ``failures``. ``retry_log`` holds one JSON-able dict per attempt —
+    which members ran, on what backend/transport, and which failed with
+    what kind — and is deterministic for a fixed seed + fault plan.
+    ``errors`` keeps the last raw exception per failed member so strict
+    callers can re-raise the original object.
+    """
+
+    detections: list[SampleDetection | None]
+    failures: tuple[MemberFailure, ...]
+    retry_log: tuple[dict, ...]
+    errors: dict[int, BaseException] | None = None
+
+    @property
+    def n_failed(self) -> int:
+        """Members with no detection after all retries."""
+        return len(self.failures)
+
+    @property
+    def n_retries(self) -> int:
+        """Extra attempts beyond the first."""
+        return max(0, len(self.retry_log) - 1)
+
+    def survivors(self) -> list[SampleDetection]:
+        """The detections that made it, in member order."""
+        return [d for d in self.detections if d is not None]
 
 
 def _detection(fdet: Fdet, graph: BipartiteGraph, track_members: bool) -> SampleDetection:
@@ -96,22 +185,29 @@ def _attach_worker(layout: StoreLayout) -> None:
     attached_store(layout)
 
 
-def _detect_one_plan(
-    args: tuple[BipartiteGraph, SamplePlan, FdetConfig, bool]
-) -> SampleDetection:
-    graph, plan, config, track_members = args
-    return _detection(Fdet(config), materialize_plan(graph, plan), track_members)
+def _detect_member_chunk(
+    args: tuple[
+        BipartiteGraph | GraphStore | StoreLayout,
+        FdetConfig,
+        list[tuple[int, SamplePlan]],
+        bool,
+        int,
+    ]
+) -> list[tuple[int, SampleDetection]]:
+    """Run a chunk of ``(member_index, plan)`` pairs in whatever process.
 
-
-def _detect_plan_chunk(
-    args: tuple[BipartiteGraph | GraphStore | StoreLayout, FdetConfig, list[SamplePlan], bool]
-) -> list[SampleDetection]:
-    source, config, plans, track_members = args
+    The per-member injection point fires *inside* the worker, so chaos
+    plans exercise the real fan-out path (chunk pickling, segment attach,
+    materialization) unmodified.
+    """
+    source, config, members, track_members, attempt = args
     graph = _resolve_parent(source)
     fdet = Fdet(config)
-    return [
-        _detection(fdet, materialize_plan(graph, plan), track_members) for plan in plans
-    ]
+    out: list[tuple[int, SampleDetection]] = []
+    for index, plan in members:
+        fault_point("member.detect", index=index, attempt=attempt)
+        out.append((index, _detection(fdet, materialize_plan(graph, plan), track_members)))
+    return out
 
 
 def _chunked(items: list, n_chunks: int) -> list[list]:
@@ -133,6 +229,333 @@ def _maybe_override_engine(config: FdetConfig, engine: str | None) -> FdetConfig
     return config
 
 
+def _classify(error: BaseException) -> str:
+    """Map one member/chunk exception to a failure kind."""
+    if isinstance(error, BrokenExecutor) or isinstance(error, WorkerCrashError):
+        return FAIL_CRASH
+    if isinstance(error, TimeoutError):
+        return FAIL_TIMEOUT
+    if isinstance(error, GraphError) and "segment" in str(error):
+        return FAIL_SHM
+    if isinstance(error, InjectedFault) and "shm.attach" in str(error):
+        return FAIL_SHM
+    return FAIL_ERROR
+
+
+def _degraded_backend(mode: str, retry_round: int, tolerance: FaultTolerance) -> str:
+    """Backend for retry round ``retry_round`` (0 = first attempt)."""
+    if retry_round == 0 or not tolerance.degrade:
+        return mode
+    ladder = {
+        ExecutorMode.PROCESS: (ExecutorMode.THREAD, ExecutorMode.SERIAL),
+        ExecutorMode.THREAD: (ExecutorMode.SERIAL,),
+        ExecutorMode.SERIAL: (),
+    }[mode]
+    if not ladder:
+        return ExecutorMode.SERIAL
+    return ladder[min(retry_round - 1, len(ladder) - 1)]
+
+
+def _run_serial(
+    graph: BipartiteGraph,
+    work: list[tuple[int, SamplePlan]],
+    config: FdetConfig,
+    track_members: bool,
+    attempt: int,
+) -> tuple[dict[int, SampleDetection], dict[int, tuple[str, BaseException]]]:
+    """In-parent attempt: no pool, no pickling, nothing left to degrade to."""
+    fdet = Fdet(config)
+    results: dict[int, SampleDetection] = {}
+    failures: dict[int, tuple[str, BaseException]] = {}
+    for index, plan in work:
+        try:
+            fault_point("member.detect", index=index, attempt=attempt)
+            results[index] = _detection(
+                fdet, materialize_plan(graph, plan), track_members
+            )
+        except Exception as exc:  # noqa: BLE001 - recorded, retried, re-raised by strict callers
+            failures[index] = (_classify(exc), exc)
+    return results, failures
+
+
+def _gather_chunk_futures(
+    futures: list[Future],
+    chunks: list[list[tuple[int, SamplePlan]]],
+    member_timeout: float | None,
+) -> tuple[dict[int, SampleDetection], dict[int, tuple[str, BaseException]], bool]:
+    """Collect per-chunk futures with one shared wall-clock deadline.
+
+    Returns ``(results, failures, timed_out)``. The deadline is
+    ``member_timeout × largest chunk`` — chunks run concurrently, so any
+    chunk still unfinished then has spent more than its own budget.
+    Completed futures keep their results even if the pool broke later.
+    """
+    results: dict[int, SampleDetection] = {}
+    failures: dict[int, tuple[str, BaseException]] = {}
+    timed_out = False
+    deadline = None
+    if member_timeout is not None:
+        deadline = _time.monotonic() + member_timeout * max(len(c) for c in chunks)
+    for chunk, future in zip(chunks, futures):
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.001, deadline - _time.monotonic())
+        try:
+            for index, detection in future.result(timeout=remaining):
+                results[index] = detection
+        except TimeoutError as exc:
+            timed_out = True
+            for index, _ in chunk:
+                failures[index] = (FAIL_TIMEOUT, exc)
+        except BaseException as exc:  # noqa: BLE001 - classified per kind below
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            kind = _classify(exc)
+            for index, _ in chunk:
+                failures[index] = (kind, exc)
+    return results, failures, timed_out
+
+
+def _run_pooled(
+    graph: BipartiteGraph,
+    work: list[tuple[int, SamplePlan]],
+    config: FdetConfig,
+    backend: str,
+    n_workers: int | None,
+    pool: ReusablePool | None,
+    track_members: bool,
+    use_shm: bool,
+    attempt: int,
+    tolerance: FaultTolerance,
+) -> tuple[dict[int, SampleDetection], dict[int, tuple[str, BaseException]], bool]:
+    """One thread/process attempt. Returns ``(results, failures, shm_used)``.
+
+    The shared segment (process backend) is exported before the fan-out
+    and unlinked in the ``finally`` below no matter how the attempt ends —
+    worker crash, timeout kill, Ctrl-C — so ``/dev/shm`` can never
+    accumulate orphaned ``repro_gs_*`` entries. ``weakref.finalize`` on
+    the handle backstops even a failure inside this function.
+    """
+    process = backend == ExecutorMode.PROCESS
+    workers = (
+        pool.n_workers
+        if pool is not None and pool.mode == backend
+        else (n_workers or default_workers(len(work)))
+    )
+
+    source: BipartiteGraph | GraphStore | StoreLayout = graph
+    shared = None
+    initializer = None
+    initargs: tuple = ()
+    if process:
+        store = GraphStore.from_graph(graph)
+        source = store
+        if use_shm:
+            try:
+                shared = store.export_shared()
+            except OSError:  # pragma: no cover - no usable /dev/shm on this host
+                shared = None
+            else:
+                source = shared.layout
+                initializer, initargs = _attach_worker, (shared.layout,)
+
+    own_executor = None
+    borrowed_pool = pool is not None and pool.mode == backend
+    try:
+        if process:
+            chunks = _chunked(work, workers)
+        else:
+            # threads share memory: per-member tasks give the finest retry
+            # granularity at no pickling cost
+            chunks = [[member] for member in work]
+        args = [(source, config, chunk, track_members, attempt) for chunk in chunks]
+
+        if borrowed_pool:
+            submit = pool.submit
+        elif process:
+            own_executor = ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks)),
+                mp_context=_process_context(),
+                initializer=initializer,
+                initargs=initargs,
+            )
+            submit = own_executor.submit
+        else:
+            own_executor = ThreadPoolExecutor(max_workers=min(workers, len(chunks)))
+            submit = own_executor.submit
+
+        futures: list[Future] = []
+        submit_error: BrokenExecutor | None = None
+        try:
+            for arg in args:
+                futures.append(submit(_detect_member_chunk, arg))
+        except BrokenExecutor as exc:
+            submit_error = exc
+
+        results, failures, timed_out = _gather_chunk_futures(
+            futures, chunks[: len(futures)], tolerance.member_timeout
+        )
+        if submit_error is not None:
+            for chunk in chunks[len(futures) :]:
+                for index, _ in chunk:
+                    failures[index] = (FAIL_CRASH, submit_error)
+        if timed_out:
+            # a hung worker cannot be joined or cancelled — reclaim it
+            if borrowed_pool:
+                pool.kill_workers()
+            elif own_executor is not None:
+                kill_executor_workers(own_executor)
+        broken = timed_out or any(kind == FAIL_CRASH for kind, _ in failures.values())
+        if broken and borrowed_pool:
+            pool.respawn()
+        return results, failures, shared is not None
+    finally:
+        if own_executor is not None:
+            own_executor.shutdown(wait=False, cancel_futures=True)
+        if shared is not None:
+            shared.dispose()
+
+
+def run_members(
+    graph: BipartiteGraph,
+    plans: Sequence[SamplePlan],
+    config: FdetConfig,
+    mode: str = ExecutorMode.SERIAL,
+    n_workers: int | None = None,
+    engine: str | None = None,
+    pool: ReusablePool | None = None,
+    track_members: bool = True,
+    shared_memory: bool = True,
+    tolerance: FaultTolerance | None = None,
+) -> MemberRun:
+    """Fault-tolerant fan-out: every plan either detects or fails *typed*.
+
+    The engine behind :func:`detect_on_plans` and
+    :meth:`~repro.ensemble.EnsemFDet.fit`. Runs all members on the
+    requested backend, then re-runs failed members for up to
+    ``tolerance.max_retries`` extra rounds with deterministic backoff,
+    degrading the backend (process → thread → serial) and falling back
+    from shared memory to the pickled store when the failure kinds call
+    for it. Members that never succeed come back as
+    :class:`MemberFailure` entries; the caller decides whether that is a
+    quorum violation.
+    """
+    config = _maybe_override_engine(config, engine)
+    tolerance = tolerance or FaultTolerance()
+    plans = list(plans)
+    detections: list[SampleDetection | None] = [None] * len(plans)
+    if not plans:
+        return MemberRun(detections=detections, failures=(), retry_log=())
+
+    pending = list(range(len(plans)))
+    fail_info: dict[int, tuple[str, BaseException]] = {}
+    attempts_of: dict[int, int] = {}
+    retry_log: list[dict] = []
+    use_shm = shared_memory
+
+    for attempt in range(tolerance.max_retries + 1):
+        if not pending:
+            break
+        backoff = tolerance.backoff_for(attempt)
+        if backoff:
+            _time.sleep(backoff)
+        backend = _degraded_backend(mode, attempt, tolerance)
+        work = [(index, plans[index]) for index in pending]
+        for index in pending:
+            attempts_of[index] = attempt + 1
+
+        # mirror parallel_map's fast path: one worker or one item never
+        # pays pool overhead (REPRO_WORKERS=1 pins CI to this path)
+        in_parent = backend == ExecutorMode.SERIAL
+        if not in_parent and pool is None:
+            effective = n_workers or default_workers(len(work))
+            in_parent = effective <= 1 or len(work) == 1
+        if in_parent:
+            results, failures = _run_serial(graph, work, config, track_members, attempt)
+            shm_used = False
+        else:
+            attempt_pool = pool if (pool is not None and pool.mode == backend) else None
+            results, failures, shm_used = _run_pooled(
+                graph,
+                work,
+                config,
+                backend,
+                n_workers,
+                attempt_pool,
+                track_members,
+                use_shm,
+                attempt,
+                tolerance,
+            )
+
+        for index, detection in results.items():
+            detections[index] = detection
+        failed = sorted(failures)
+        retry_log.append(
+            {
+                "attempt": attempt,
+                "backend": ExecutorMode.SERIAL if in_parent else backend,
+                "shared_memory": shm_used,
+                "members": [int(i) for i in pending],
+                "failed": [int(i) for i in failed],
+                "kinds": {str(i): failures[i][0] for i in failed},
+            }
+        )
+        fail_info.update(failures)
+        if any(kind == FAIL_SHM for kind, _ in failures.values()):
+            # the segment transport itself is suspect — pickled store next
+            use_shm = False
+        pending = failed
+
+    failures_out = tuple(
+        MemberFailure(
+            index=index,
+            kind=fail_info[index][0],
+            error=f"{type(fail_info[index][1]).__name__}: {fail_info[index][1]}",
+            attempts=attempts_of[index],
+        )
+        for index in pending
+    )
+    return MemberRun(
+        detections=detections,
+        failures=failures_out,
+        retry_log=tuple(retry_log),
+        errors={index: fail_info[index][1] for index in pending},
+    )
+
+
+def _raise_first_failure(run: MemberRun) -> None:
+    """Strict-mode contract: surface the first permanent failure, typed."""
+    if not run.failures:
+        return
+    first = run.failures[0]
+    indices = tuple(f.index for f in run.failures)
+    if first.kind == FAIL_TIMEOUT:
+        raise MemberTimeoutError(
+            f"ensemble members {list(indices)} exceeded their wall-clock "
+            f"budget ({first.error}); raise member_timeout, enable retries "
+            "(FaultTolerance.max_retries), or use a smaller sample ratio",
+            member_indices=indices,
+        )
+    if first.kind == FAIL_CRASH:
+        raise WorkerCrashError(
+            f"worker died while running ensemble members {list(indices)} "
+            f"({first.error}); the pool was respawned — re-run, enable "
+            "retries (FaultTolerance.max_retries), or use executor='serial' "
+            "to isolate the member",
+            member_indices=indices,
+        )
+    # member/application-level error (including shm-attach): re-raise the
+    # original exception so strict callers keep fail-fast semantics (e.g.
+    # a DetectionError from a misconfigured FdetConfig propagates as-is)
+    original = (run.errors or {}).get(first.index)
+    if original is not None:
+        raise original
+    raise RuntimeError(
+        f"member {first.index} failed after {first.attempts} attempt(s): {first.error}"
+    )
+
+
 def detect_on_plans(
     graph: BipartiteGraph,
     plans: Sequence[SamplePlan],
@@ -143,8 +566,15 @@ def detect_on_plans(
     pool: ReusablePool | None = None,
     track_members: bool = True,
     shared_memory: bool = True,
+    tolerance: FaultTolerance | None = None,
 ) -> list[SampleDetection]:
     """Materialize every plan against ``graph`` and run FDET on it.
+
+    Strict by default: any member that still has no result after the
+    (default zero-overhead) tolerance policy raises a typed error. Pass a
+    :class:`~repro.parallel.FaultTolerance` to retry/degrade instead; for
+    access to partial results and the retry log, call :func:`run_members`
+    directly (as :meth:`EnsemFDet.fit` does).
 
     Parameters
     ----------
@@ -168,61 +598,23 @@ def detect_on_plans(
         instead of pickling it into every worker. Falls back to shipping
         the columnar store (pickled once per worker chunk) when the
         platform refuses the segment.
+    tolerance:
+        Retry/timeout/degradation policy; defaults to strict (no retries).
     """
-    config = _maybe_override_engine(config, engine)
-    plans = list(plans)
-    if not plans:
-        return []
-
-    process = mode == ExecutorMode.PROCESS or (
-        pool is not None and pool.mode == ExecutorMode.PROCESS
+    run = run_members(
+        graph,
+        plans,
+        config,
+        mode=mode,
+        n_workers=n_workers,
+        engine=engine,
+        pool=pool,
+        track_members=track_members,
+        shared_memory=shared_memory,
+        tolerance=tolerance or FaultTolerance.strict(),
     )
-    if not process:
-        return parallel_map(
-            _detect_one_plan,
-            [(graph, plan, config, track_members) for plan in plans],
-            mode=mode,
-            n_workers=n_workers,
-            pool=pool,
-        )
-
-    workers = pool.n_workers if pool is not None else (n_workers or default_workers(len(plans)))
-    if pool is None and (workers <= 1 or len(plans) == 1):
-        # the work stays in this process: no segment, no pickling at all
-        fdet = Fdet(config)
-        return [
-            _detection(fdet, materialize_plan(graph, plan), track_members)
-            for plan in plans
-        ]
-
-    store = GraphStore.from_graph(graph)
-    source: GraphStore | StoreLayout = store
-    shared = None
-    initializer = None
-    initargs: tuple = ()
-    if shared_memory:
-        try:
-            shared = store.export_shared()
-        except OSError:  # pragma: no cover - no usable /dev/shm on this host
-            shared = None
-        else:
-            source = shared.layout
-            initializer, initargs = _attach_worker, (shared.layout,)
-    try:
-        chunks = _chunked(plans, workers)
-        chunk_results = parallel_map(
-            _detect_plan_chunk,
-            [(source, config, chunk, track_members) for chunk in chunks],
-            mode=ExecutorMode.PROCESS,
-            n_workers=min(workers, len(chunks)),
-            pool=pool,
-            initializer=initializer,
-            initargs=initargs,
-        )
-    finally:
-        if shared is not None:
-            shared.dispose()
-    return [detection for chunk in chunk_results for detection in chunk]
+    _raise_first_failure(run)
+    return [detection for detection in run.detections if detection is not None]
 
 
 def detect_on_samples(

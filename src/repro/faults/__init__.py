@@ -1,0 +1,32 @@
+"""Deterministic fault injection for chaos-testing the detection pipeline.
+
+See :mod:`repro.faults.plan` for the spec grammar and
+:mod:`repro.faults.injection` for the registered injection points. The
+layer is inert unless a plan is armed (``REPRO_FAULTS`` environment
+variable or :func:`arm`), so production code paths run unmodified — and
+essentially unslowed — when chaos is off.
+"""
+
+from .injection import (
+    ENV_VAR,
+    arm,
+    arm_from_env,
+    armed_plan,
+    disarm,
+    fault_point,
+    fired_log,
+)
+from .plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "ENV_VAR",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "arm",
+    "arm_from_env",
+    "armed_plan",
+    "disarm",
+    "fault_point",
+    "fired_log",
+]

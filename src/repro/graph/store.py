@@ -36,6 +36,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..errors import GraphError
+from ..faults import fault_point
 from .bipartite import BipartiteGraph
 
 __all__ = [
@@ -335,6 +336,7 @@ def attached_store(layout: StoreLayout) -> GraphStore:
     cached = _ATTACHED.get(layout.segment)
     if cached is not None:
         return cached[0]
+    fault_point("shm.attach", segment=layout.segment)
     detach_all()
     store, shm = GraphStore.attach(layout)
     _ATTACHED[layout.segment] = (store, shm)

@@ -24,18 +24,35 @@ once instead of per task (see :func:`repro.graph.attached_store`).
 All backends preserve input order and propagate the first worker exception.
 Worker counts honour the ``REPRO_WORKERS`` environment variable so CI and
 benchmarks can pin parallelism deterministically.
+
+Failure semantics: pool-infrastructure failures (a worker SIGKILLed mid
+chunk, an unpicklable task) surface as typed
+:class:`~repro.errors.ParallelError` subclasses carrying the indices of
+the work items that did not complete, never as a raw
+``BrokenProcessPool``/``PicklingError`` traceback; task-level exceptions
+(the function itself raising) still propagate unchanged. After a crash a
+:class:`ReusablePool` respawns its executor automatically, so the next
+``map`` runs on fresh workers.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import pickle
+import signal
+from concurrent.futures import BrokenExecutor, Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from ..errors import ReproError
+from ..errors import ParallelError, ReproError, WorkerCrashError
 
-__all__ = ["ExecutorMode", "ReusablePool", "parallel_map", "default_workers"]
+__all__ = [
+    "ExecutorMode",
+    "ReusablePool",
+    "parallel_map",
+    "default_workers",
+    "kill_executor_workers",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -79,6 +96,37 @@ def _process_context():
         return multiprocessing.get_context()
 
 
+def kill_executor_workers(executor: Executor) -> int:
+    """SIGKILL every live worker of a ``ProcessPoolExecutor``.
+
+    The only way to reclaim a *hung* worker — ``shutdown()`` joins it (and
+    hangs with it) and futures of running tasks cannot be cancelled.
+    Returns the number of processes signalled; a no-op for thread pools
+    (threads cannot be killed, but injected hangs are bounded sleeps).
+    """
+    processes = getattr(executor, "_processes", None)
+    if not processes:
+        return 0
+    killed = 0
+    for process in list(processes.values()):
+        if process.is_alive():
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+                killed += 1
+            except (ProcessLookupError, PermissionError):  # pragma: no cover
+                pass
+    return killed
+
+
+def _incomplete_indices(futures: Sequence[Future]) -> tuple[int, ...]:
+    """Indices whose future holds no usable result (pool died under them)."""
+    out = []
+    for index, future in enumerate(futures):
+        if not future.done() or future.cancelled() or future.exception() is not None:
+            out.append(index)
+    return tuple(out)
+
+
 class ReusablePool:
     """A worker pool that survives across ``parallel_map`` calls.
 
@@ -113,6 +161,8 @@ class ReusablePool:
         self.initializer = initializer
         self.initargs = initargs
         self._executor: Executor | None = None
+        #: how many times the executor was respawned after a worker crash
+        self.restarts = 0
 
     def _ensure(self) -> Executor:
         if self._executor is None:
@@ -131,12 +181,68 @@ class ReusablePool:
                 )
         return self._executor
 
+    def submit(self, func: Callable[[T], R], item: T) -> Future:
+        """Submit one task to the (lazily created) pool."""
+        return self._ensure().submit(func, item)
+
     def map(self, func: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> list[R]:
-        """Apply ``func`` to every item on the pool, preserving order."""
+        """Apply ``func`` to every item on the pool, preserving order.
+
+        A dead worker (SIGKILL/OOM/segfault) raises
+        :class:`~repro.errors.WorkerCrashError` listing the item indices
+        that did not complete, and the pool respawns its executor so the
+        next call runs on fresh workers. Unpicklable tasks raise
+        :class:`~repro.errors.ParallelError` with a remediation hint.
+        Exceptions raised *by* ``func`` propagate unchanged.
+        """
+        from ..faults import fault_point
+
         work = list(items)
         if not work:
             return []
-        return list(self._ensure().map(func, work))
+        fault_point("pool.map", n_items=len(work))
+        futures: list[Future] = []
+        try:
+            futures = [self._ensure().submit(func, item) for item in work]
+            return [future.result() for future in futures]
+        except BrokenExecutor as exc:
+            # items with no submitted future never started either
+            incomplete = _incomplete_indices(futures) + tuple(
+                range(len(futures), len(work))
+            )
+            self.respawn()
+            raise WorkerCrashError(
+                f"a {self.mode} pool worker died before finishing its chunk "
+                f"(items {list(incomplete)} incomplete); the pool has been "
+                "respawned — retry the failed items, or run with "
+                "executor='serial' to isolate the failing member",
+                member_indices=incomplete,
+            ) from exc
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            # CPython reports unpicklable tasks inconsistently: PicklingError,
+            # or AttributeError/TypeError saying "Can('t| not) pickle ..." —
+            # anything else is a genuine task exception and propagates as-is
+            if not isinstance(exc, pickle.PicklingError) and "pickle" not in str(exc).lower():
+                raise
+            raise ParallelError(
+                f"chunk submission to the {self.mode} pool failed to pickle: "
+                f"{exc}; task functions and their arguments must be "
+                "module-level picklable for the process backend (use "
+                "executor='thread' or 'serial' for closures)",
+            ) from exc
+
+    def kill_workers(self) -> int:
+        """SIGKILL live process-backend workers (reclaims hung chunks)."""
+        if self._executor is None:
+            return 0
+        return kill_executor_workers(self._executor)
+
+    def respawn(self) -> None:
+        """Discard the current executor; the next use spawns fresh workers."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.restarts += 1
 
     def close(self) -> None:
         """Shut the workers down; the pool may not be used afterwards."""

@@ -16,6 +16,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 GUARD = REPO_ROOT / "benchmarks" / "check_regression.py"
+FAULT_GUARD = REPO_ROOT / "benchmarks" / "bench_fault_overhead.py"
 
 
 def test_peeling_perf_guard_fast():
@@ -28,5 +29,22 @@ def test_peeling_perf_guard_fast():
     )
     assert result.returncode == 0, (
         f"perf guard failed (rc={result.returncode})\n"
+        f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )
+
+
+def test_fault_layer_armed_idle_overhead_guard():
+    # an armed-but-never-matching fault plan must not slow a fit measurably;
+    # the guard gates on the derived overhead (per-call cost x calls per
+    # fit), which stays stable on a loaded runner
+    result = subprocess.run(
+        [sys.executable, str(FAULT_GUARD), "--check", "--rounds", "5"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"fault-overhead guard failed (rc={result.returncode})\n"
         f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
     )
