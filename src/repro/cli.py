@@ -4,8 +4,8 @@ Subcommands::
 
     ensemfdet detect <edges.tsv> [--detector SPEC] [--ratio S] [--samples N] [...]
     ensemfdet detectors [--list]
-    ensemfdet watch <edges.tsv> --state <state.npz> [--interval SEC] [...]
-    ensemfdet update <delta.tsv> --state <state.npz> [--threshold T]
+    ensemfdet watch <edges.tsv> --state <state.npz> [--window N] [--horizon H] [...]
+    ensemfdet update [delta.tsv] --state <state.npz> [--remove removals.tsv] [...]
     ensemfdet dataset <outdir> [--index I] [--scale X] [--seed K]
     ensemfdet stats <edges.tsv>
     ensemfdet experiments [ids...] [--scale ...] [--outdir ...]
@@ -16,11 +16,15 @@ registry spec (``fraudar:n_blocks=8``, ``spoken``, ``degree:weighted=1``,
 ...) and prints that detector's suspiciousness ranking instead.
 ``detectors`` lists the registry. ``watch`` keeps warm detection state in
 a ``.npz`` archive and tails a growing edge-list file, re-detecting only
-the ensemble members a new batch of edges invalidates; ``update`` applies
-one explicit delta file to the same state. Both print the refreshed
-detection in the ``detect`` format. ``scenario`` sweeps the
-adversarial-attack robustness grid (detector × attack shape × intensity)
-over any set of registry specs and optionally writes JSON/CSV artifacts.
+the ensemble members a new batch of edges invalidates; ``--window N`` /
+``--horizon H`` switch the cold fit to a rolling window (old batches
+expire instead of accumulating forever). ``update`` applies one explicit
+delta file and/or a ``--remove`` deletion file to the same state. Both
+print the refreshed detection in the ``detect`` format. ``scenario``
+sweeps the adversarial-attack robustness grid (detector × attack shape ×
+intensity) over any set of registry specs; ``scenario --drift`` replays
+the temporal scenarios batch-by-batch against windowed and append-only
+detectors and reports detection latency. Artifacts go to ``--outdir``.
 """
 
 from __future__ import annotations
@@ -52,16 +56,26 @@ from .ensemble import (
 )
 from .experiments.runner import main as experiments_main
 from .fdet import FdetConfig, PeelEngine
-from .graph import EdgeBatch, GraphAccumulator, describe, iter_edge_batches, load_edge_list
+from .graph import (
+    EdgeBatch,
+    GraphAccumulator,
+    WindowConfig,
+    describe,
+    iter_edge_batches,
+    load_edge_list,
+)
 from .graph.io import _iter_rows
 from .parallel import ExecutorMode, FaultTolerance
 from .sampling import RandomEdgeSampler, StableEdgeSampler
 from .scenarios import (
     SCENARIO_NAMES,
+    DriftGridConfig,
     ScenarioGridConfig,
+    run_drift_grid,
     run_grid,
     scenario_descriptions,
 )
+from .scenarios.drift import TEMPORAL_SCENARIOS
 
 __all__ = ["main"]
 
@@ -264,6 +278,25 @@ def _report_degradation(report) -> None:
         )
 
 
+def _window_config(args: argparse.Namespace) -> WindowConfig | None:
+    """Build the rolling-window config from ``--window`` / ``--horizon``."""
+    if args.window is None and args.horizon is None:
+        return None
+    return WindowConfig(max_batches=args.window, horizon=args.horizon)
+
+
+def _describe_window(detector: IncrementalEnsemFDet) -> str:
+    window = detector.window_config
+    if window is None:
+        return "append-only"
+    parts = []
+    if window.max_batches is not None:
+        parts.append(f"last {window.max_batches} batches")
+    if window.horizon is not None:
+        parts.append(f"horizon {window.horizon:g}")
+    return f"rolling window ({', '.join(parts)})"
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     state_path = Path(args.state)
     if _state_exists(state_path):
@@ -274,12 +307,13 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         consumed = int(detector.meta.get("watch_rows", detector.graph.n_edges))
         sampler = detector.config.sampler
         print(
-            f"# loaded state from {state_path}: {detector.graph.n_edges} edges, "
+            f"# loaded state from {state_path}: {detector.graph.n_edges} live edges, "
             f"N={detector.config.n_samples} S={sampler.ratio} stripe={sampler.stripe} "
-            f"seed={detector.config.seed} ({consumed} rows of {args.edges} consumed)"
+            f"seed={detector.config.seed} {_describe_window(detector)} "
+            f"({consumed} rows of {args.edges} consumed)"
         )
         print(
-            "# note: ensemble/sampling flags on the command line are ignored — "
+            "# note: ensemble/sampling/window flags on the command line are ignored — "
             "the stored configuration governs; delete the state file to refit"
         )
     else:
@@ -300,12 +334,20 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 min_quorum=args.min_quorum,
             ),
         )
-        detector = IncrementalEnsemFDet(config)
-        detector.fit(graph)
+        window = _window_config(args)
+        detector = IncrementalEnsemFDet(config, window=window)
+        if window is not None and window.horizon is not None:
+            # horizon windows expire by clock; stamp batch 0 with real time
+            detector.fit(graph, timestamp=time.time())
+        else:
+            detector.fit(graph)
         consumed = graph.n_edges
         detector.meta["watch_rows"] = consumed
         detector.save(state_path)
-        print(f"# cold fit on {graph.n_edges} edges; state saved to {state_path}")
+        print(
+            f"# cold fit on {graph.n_edges} edges ({_describe_window(detector)}); "
+            f"state saved to {state_path}"
+        )
 
     threshold = _default_threshold(args.threshold, detector.config.n_samples)
     _print_detection(detector.detect(threshold), f"# EnsemFDet[warm] T={threshold}")
@@ -318,13 +360,20 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         users, merchants, weights = _read_rows(args.edges, skip=consumed)
         if not users.size:
             continue
-        report = detector.update(users, merchants, weights)
+        window = detector.window_config
+        if window is not None and window.horizon is not None:
+            report = detector.update(users, merchants, weights, timestamp=time.time())
+        else:
+            # batch-count windows tick in ordinal time (the accumulator's
+            # default); append-only detectors reject timestamps outright
+            report = detector.update(users, merchants, weights)
         _report_degradation(report)
         consumed += report.n_new_edges
         detector.meta["watch_rows"] = consumed
         detector.save(state_path)
+        expired = f", expired {report.n_expired_edges}" if window is not None else ""
         print(
-            f"# update: +{report.n_new_edges} edges, refreshed "
+            f"# update: +{report.n_new_edges} edges{expired}, refreshed "
             f"{report.n_refreshed}/{report.n_samples} samples in "
             f"{report.total_seconds:.3f}s"
         )
@@ -337,14 +386,44 @@ def _cmd_update(args: argparse.Namespace) -> int:
     if not _state_exists(state_path):
         print(f"no detection state at {state_path}; run 'ensemfdet watch' first", file=sys.stderr)
         return 2
+    if args.delta is None and args.remove is None:
+        print("nothing to apply: give a delta file and/or --remove", file=sys.stderr)
+        return 2
     detector = _load_state(state_path)
-    users, merchants, weights = _read_rows(args.delta, headerless_ok=True)
-    report = detector.update(users, merchants, weights)
+    windowed = detector.window_config is not None
+    if not windowed and (args.remove is not None or args.timestamp is not None):
+        print(
+            "--remove/--timestamp need windowed state; refit with "
+            "'ensemfdet watch --window N' (or --horizon H) first",
+            file=sys.stderr,
+        )
+        return 2
+    if args.delta is not None:
+        users, merchants, weights = _read_rows(args.delta, headerless_ok=True)
+    else:
+        users = merchants = weights = None
+    remove_users = remove_merchants = None
+    if args.remove is not None:
+        remove_users, remove_merchants, _ = _read_rows(args.remove, headerless_ok=True)
+    if windowed:
+        report = detector.update(
+            users,
+            merchants,
+            weights,
+            remove_users=remove_users,
+            remove_merchants=remove_merchants,
+            timestamp=args.timestamp,
+        )
+    else:
+        report = detector.update(users, merchants, weights)
     _report_degradation(report)
     detector.save(state_path)
     threshold = _default_threshold(args.threshold, detector.config.n_samples)
+    churn = ""
+    if windowed:
+        churn = f", -{report.n_removed_edges} retracted, {report.n_expired_edges} expired"
     print(
-        f"# update: +{report.n_new_edges} edges, refreshed "
+        f"# update: +{report.n_new_edges} edges{churn}, refreshed "
         f"{report.n_refreshed}/{report.n_samples} samples in {report.total_seconds:.3f}s"
     )
     _print_detection(detector.detect(threshold), f"# EnsemFDet[warm] T={threshold}")
@@ -394,9 +473,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         for name, description in scenario_descriptions().items():
             print(f"{name}\t{description}")
         return 0
+    if args.drift:
+        return _run_drift(args)
+    scenarios = (
+        _parse_csv(args.scenarios, str) if args.scenarios else SCENARIO_NAMES
+    )
     config = ScenarioGridConfig(
-        scenarios=_parse_csv(args.scenarios, str),
-        intensities=_parse_csv(args.intensities, float),
+        scenarios=scenarios,
+        intensities=_parse_csv(args.intensities or "0.5,1.0,2.0", float),
         detectors=tuple(split_detector_specs(args.detectors)),
         scale=args.scale,
         seed=args.seed,
@@ -412,6 +496,39 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     print(result.render(max_rows=args.max_rows))
     if args.outdir is not None:
         print(f"# artifacts written to {args.outdir}/scenario_grid.{{json,csv}}")
+    return 0
+
+
+def _run_drift(args: argparse.Namespace) -> int:
+    """``scenario --drift``: the temporal latency/decay grid."""
+    intensities = _parse_csv(args.intensities, float) if args.intensities else (1.0,)
+    if len(intensities) != 1:
+        print(
+            "--drift replays one intensity per run; pass a single value "
+            f"to --intensities, got {list(intensities)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = DriftGridConfig(
+        scenarios=(
+            _parse_csv(args.scenarios, str) if args.scenarios else TEMPORAL_SCENARIOS
+        ),
+        window_batches=args.window,
+        intensity=intensities[0],
+        scale=args.scale,
+        seed=args.seed,
+        n_samples=args.samples,
+        sample_ratio=args.ratio,
+        stripe=args.stripe,
+        max_blocks=args.max_blocks,
+        engine=args.engine,
+        executor=args.executor,
+        f1_target=args.f1_target,
+    )
+    result = run_drift_grid(config, outdir=args.outdir)
+    print(result.render(max_rows=args.max_rows))
+    if args.outdir is not None:
+        print(f"# artifacts written to {args.outdir}/drift_grid.{{json,csv}}")
     return 0
 
 
@@ -524,14 +641,52 @@ def main(argv: list[str] | None = None) -> int:
         help="minimum surviving ensemble fraction before a fit/update "
         "raises instead of degrading (cold fit only)",
     )
+    watch.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the last N appended batches live; older edges "
+        "expire and their votes are forgotten (cold fit only; stored in "
+        "the state and honoured by every later update)",
+    )
+    watch.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        metavar="H",
+        help="expire edges whose batch timestamp falls more than H behind "
+        "the newest batch (wall-clock seconds here; combinable with "
+        "--window, cold fit only)",
+    )
     watch.set_defaults(func=_cmd_watch)
 
     update = sub.add_parser(
         "update", help="apply one edge-delta file to saved detection state"
     )
-    update.add_argument("delta", help="TSV of new edges (with or without the # bipartite header)")
+    update.add_argument(
+        "delta",
+        nargs="?",
+        default=None,
+        help="TSV of new edges (with or without the # bipartite header); "
+        "optional when --remove is given",
+    )
     update.add_argument("--state", required=True, help="detection-state .npz from 'watch'")
     update.add_argument("--threshold", type=int, default=None, help="voting threshold T")
+    update.add_argument(
+        "--remove",
+        default=None,
+        metavar="TSV",
+        help="deletion delta: each (user, merchant) row retracts that "
+        "pair's oldest live edge (windowed state only)",
+    )
+    update.add_argument(
+        "--timestamp",
+        type=float,
+        default=None,
+        help="batch timestamp for horizon windows (default: previous "
+        "batch's timestamp + 1; windowed state only)",
+    )
     update.set_defaults(func=_cmd_update)
 
     dataset = sub.add_parser("dataset", help="generate and save a JD-like dataset")
@@ -557,14 +712,37 @@ def main(argv: list[str] | None = None) -> int:
         "--list", action="store_true", help="list registered scenarios and exit"
     )
     scenario.add_argument(
+        "--drift",
+        action="store_true",
+        help="run the temporal drift grid instead: replay each scenario "
+        "batch by batch through append-only and windowed detectors, "
+        "reporting detection latency (batches until F1 reaches the "
+        "target) and post-cleanup decay",
+    )
+    scenario.add_argument(
         "--scenarios",
-        default=",".join(SCENARIO_NAMES),
-        help="comma-separated scenario names (default: all registered)",
+        default=None,
+        help="comma-separated scenario names (default: all registered; "
+        f"with --drift: {','.join(TEMPORAL_SCENARIOS)})",
     )
     scenario.add_argument(
         "--intensities",
-        default="0.5,1.0,2.0",
-        help="comma-separated attack-strength multipliers",
+        default=None,
+        help="comma-separated attack-strength multipliers (default "
+        "0.5,1.0,2.0; --drift takes exactly one, default 1.0)",
+    )
+    scenario.add_argument(
+        "--window",
+        type=int,
+        default=12,
+        metavar="N",
+        help="rolling-window size in batches for the --drift windowed rows",
+    )
+    scenario.add_argument(
+        "--f1-target",
+        type=float,
+        default=0.6,
+        help="best-F1 level that counts as 'detected' for --drift latency",
     )
     scenario.add_argument(
         "--detectors",

@@ -23,7 +23,7 @@ from ..ensemble import (
 )
 from ..errors import DetectionError
 from ..fdet import FdetConfig
-from ..graph import BipartiteGraph
+from ..graph import BipartiteGraph, WindowConfig
 from ..parallel import Timer
 from ..sampling import StableEdgeSampler, make_sampler
 from .base import Detection
@@ -33,6 +33,10 @@ __all__ = ["EnsembleDetector", "IncrementalDetector", "detection_from_votes"]
 
 #: stable-edge sampler aliases that honour the spec's ``stripe`` parameter
 _STABLE_SAMPLERS = ("ses", "stable_edge")
+
+#: mirrors :data:`repro.scenarios.BatchKind.CLEANUP` — spelled out here so
+#: the detector layer never imports the scenario package (which imports us)
+_CLEANUP = "cleanup"
 
 
 def _ranked_by_votes(table: VoteTable) -> np.ndarray:
@@ -226,15 +230,32 @@ class IncrementalDetector:
     same stable sampler and seed); :meth:`fit_stream` replays an edge
     stream — fit on the background batch, one ``update()`` per attack
     batch — exercising the incremental layer end to end.
+
+    With ``window=W`` the detector rolls a ``W``-batch window: streamed
+    batches get ordinal timestamps, old edges expire, and
+    :data:`~repro.scenarios.BatchKind.CLEANUP` batches are applied as
+    retractions. Windowed specs extend their parity fingerprint, so the
+    harness never bit-compares them against append-only detectors —
+    forgetting edges is *supposed* to change the verdict.
     """
 
     def __init__(self, spec: str, config: IncrementalSpec, context: DetectorContext) -> None:
         self.spec = spec
         self.config = _ensemble_config(config, context, "ses")
+        self.window = None
+        if config.window is not None:
+            if config.window < 1:
+                raise DetectionError(
+                    f"detector {spec!r}: window must be >= 1, got {config.window}"
+                )
+            self.window = WindowConfig(max_batches=config.window)
 
     def parity_fingerprint(self) -> tuple:
-        """See :func:`_parity_fingerprint`."""
-        return _parity_fingerprint(self.config)
+        """See :func:`_parity_fingerprint`; windowed specs are their own group."""
+        fingerprint = _parity_fingerprint(self.config)
+        if self.window is not None:
+            fingerprint += ("window", self.window.max_batches)
+        return fingerprint
 
     def _detection(
         self, detector: IncrementalEnsemFDet, seconds: float, meta: dict
@@ -250,26 +271,62 @@ class IncrementalDetector:
 
     def fit(self, graph: BipartiteGraph) -> Detection:
         with Timer() as timer:
-            detector = IncrementalEnsemFDet(self.config)
+            detector = IncrementalEnsemFDet(self.config, window=self.window)
             detector.fit(graph)
         return self._detection(
             detector, timer.elapsed, {"n_updates": 0, "n_refreshed": 0}
         )
 
-    def fit_stream(self, background: BipartiteGraph, batches) -> Detection:
+    def fit_stream(self, background: BipartiteGraph, batches, kinds=None) -> Detection:
+        """Replay a batch stream: fit on the background, update per batch.
+
+        ``kinds`` (parallel to ``batches``, :class:`BatchKind` strings)
+        routes :data:`BatchKind.CLEANUP` batches: a windowed detector
+        applies them as retractions; an append-only one skips them — it
+        has no way to un-ingest an edge, which is exactly the asymmetry
+        the temporal scenarios measure.
+        """
+        batches = list(batches)
+        if kinds is not None and len(kinds) != len(batches):
+            raise DetectionError(
+                f"kinds length {len(kinds)} does not match {len(batches)} batches"
+            )
         with Timer() as timer:
-            detector = IncrementalEnsemFDet(self.config)
-            detector.fit(background)
+            detector = IncrementalEnsemFDet(self.config, window=self.window)
+            if self.window is not None:
+                detector.fit(background, timestamp=0.0)
+            else:
+                detector.fit(background)
             refreshed = 0
+            skipped = 0
             failed: list[dict] = []
             stale: tuple[int, ...] = ()
-            batches = list(batches)
-            for batch in batches:
-                report = detector.update(batch.users, batch.merchants, batch.weights)
+            for index, batch in enumerate(batches):
+                cleanup = kinds is not None and kinds[index] == _CLEANUP
+                if self.window is None:
+                    if cleanup:
+                        skipped += 1
+                        continue
+                    report = detector.update(batch.users, batch.merchants, batch.weights)
+                elif cleanup:
+                    report = detector.update(
+                        remove_users=batch.users,
+                        remove_merchants=batch.merchants,
+                        timestamp=float(index + 1),
+                    )
+                else:
+                    report = detector.update(
+                        batch.users,
+                        batch.merchants,
+                        batch.weights,
+                        timestamp=float(index + 1),
+                    )
                 refreshed += report.n_refreshed
                 failed.extend(f.as_dict() for f in report.failed_members)
                 stale = report.stale_members
-        meta: dict = {"n_updates": len(batches), "n_refreshed": refreshed}
+        meta: dict = {"n_updates": len(batches) - skipped, "n_refreshed": refreshed}
+        if skipped:
+            meta["skipped_cleanup_batches"] = skipped
         if failed:
             meta["failed_members"] = failed
             meta["stale_members"] = list(stale)

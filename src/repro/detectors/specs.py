@@ -221,7 +221,13 @@ class EnsembleSpec(DetectorSpec):
 
 @dataclass(frozen=True)
 class IncrementalSpec(DetectorSpec):
-    """``incremental`` — streaming EnsemFDet (always stable-sampled)."""
+    """``incremental`` — streaming EnsemFDet (always stable-sampled).
+
+    ``window`` (a batch count) turns the detector into a rolling-window
+    one: edges older than the last ``window`` update batches expire, and
+    :data:`~repro.scenarios.BatchKind.CLEANUP` batches in a replayed
+    stream are honoured as retractions instead of skipped.
+    """
 
     n: int | None = None
     ratio: float | None = None
@@ -230,6 +236,7 @@ class IncrementalSpec(DetectorSpec):
     engine: str | None = None
     executor: str | None = None
     seed: int | None = None
+    window: int | None = None
 
 
 @dataclass(frozen=True)

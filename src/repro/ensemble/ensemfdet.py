@@ -27,9 +27,9 @@ import numpy as np
 
 from ..errors import DetectionError, QuorumError
 from ..fdet import FdetConfig, FdetResult
-from ..graph import BipartiteGraph
+from ..graph import BipartiteGraph, LiveWindow
 from ..parallel import ExecutorMode, FaultTolerance, ReusablePool, Timer
-from ..sampling import RandomEdgeSampler, Sampler, resolve_rng
+from ..sampling import RandomEdgeSampler, Sampler, StableEdgeSampler, resolve_rng
 from .results import DetectionResult
 from .runner import MemberFailure, MemberRun, SampleDetection, _raise_first_failure, run_members
 from .voting import VoteTable, majority_vote
@@ -238,13 +238,7 @@ class EnsemFDet:
         """
         config = self.config
         rng = resolve_rng(config.seed)
-        if track_members is None:
-            track_members = config.track_appearances
-        elif config.track_appearances and not track_members:
-            raise DetectionError(
-                "track_members=False contradicts track_appearances=True: "
-                "appearance counts need each sample's membership"
-            )
+        track_members = self._resolve_track_members(track_members)
 
         with Timer() as sampling_timer:
             plans = config.sampler.plan_many(graph, config.n_samples, rng)
@@ -262,6 +256,65 @@ class EnsemFDet:
                 tolerance=config.tolerance,
             )
 
+        return self._assemble(run, sampling_timer.elapsed, detection_timer.elapsed)
+
+    def fit_window(
+        self, window: LiveWindow, track_members: bool | None = None
+    ) -> EnsemFDetResult:
+        """Fit on the live edges of a rolling window.
+
+        For the stripe-hash :class:`~repro.sampling.StableEdgeSampler`,
+        membership is keyed by each edge's original *append id*, so this
+        fit is the bitwise cold reference that windowed
+        :meth:`~repro.ensemble.IncrementalEnsemFDet.update` calls must
+        match: same key, stripe-inclusion matrix over the id space
+        (``window.watermark``), and fan-out through the liveness overlay.
+        Every other sampler family has no id-keyed structure to preserve
+        and simply fits the compacted live graph.
+        """
+        config = self.config
+        sampler = config.sampler
+        if not isinstance(sampler, StableEdgeSampler):
+            return self.fit(window.live_graph(), track_members)
+        track_members = self._resolve_track_members(track_members)
+
+        with Timer() as sampling_timer:
+            key = sampler.derive_key(resolve_rng(config.seed))
+            inclusion = sampler.stripe_inclusion(
+                sampler.n_stripes(window.watermark), config.n_samples, key
+            )
+            plans = [sampler.stripe_plan(inclusion[i]) for i in range(config.n_samples)]
+
+        with Timer() as detection_timer:
+            run = run_members(
+                window.graph,
+                plans,
+                config.fdet,
+                mode=config.executor,
+                n_workers=config.n_workers,
+                pool=self.pool,
+                track_members=track_members,
+                shared_memory=config.shared_memory,
+                tolerance=config.tolerance,
+                window=window.edge_window(),
+            )
+
+        return self._assemble(run, sampling_timer.elapsed, detection_timer.elapsed)
+
+    def _resolve_track_members(self, track_members: bool | None) -> bool:
+        if track_members is None:
+            return self.config.track_appearances
+        if self.config.track_appearances and not track_members:
+            raise DetectionError(
+                "track_members=False contradicts track_appearances=True: "
+                "appearance counts need each sample's membership"
+            )
+        return track_members
+
+    def _assemble(
+        self, run: MemberRun, sampling_seconds: float, detection_seconds: float
+    ) -> EnsemFDetResult:
+        config = self.config
         detections = _enforce_quorum(run, config)
         table = VoteTable.from_detections(
             [d.result.detected_users().tolist() for d in detections],
@@ -276,8 +329,8 @@ class EnsemFDet:
             config=config,
             vote_table=table,
             sample_detections=tuple(detections),
-            sampling_seconds=sampling_timer.elapsed,
-            detection_seconds=detection_timer.elapsed,
+            sampling_seconds=sampling_seconds,
+            detection_seconds=detection_seconds,
             failed_members=run.failures,
             retry_log=run.retry_log,
         )

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..errors import DetectionError, QuorumError
 from ..fdet import FdetConfig, LogWeightedDensity, SecondDifferenceRule
-from ..graph import BipartiteGraph, GraphAccumulator
+from ..graph import BipartiteGraph, GraphAccumulator, LiveWindow, WindowConfig
 from ..parallel import FaultTolerance, ReusablePool, Timer
 from ..sampling import StableEdgeSampler, resolve_rng
 from .ensemfdet import EnsemFDet, EnsemFDetConfig, EnsemFDetResult
@@ -72,6 +72,10 @@ class UpdateReport:
         updates until a later refresh succeeds).
     retry_log:
         Per-attempt history of this update's detection stage.
+    n_removed_edges:
+        Edges retracted by an explicit deletion delta (windowed mode).
+    n_expired_edges:
+        Edges that fell out of the rolling window this update.
     """
 
     n_new_edges: int
@@ -82,6 +86,8 @@ class UpdateReport:
     failed_members: tuple[MemberFailure, ...] = ()
     stale_members: tuple[int, ...] = ()
     retry_log: tuple[dict, ...] = ()
+    n_removed_edges: int = 0
+    n_expired_edges: int = 0
 
     @property
     def n_refreshed(self) -> int:
@@ -153,10 +159,20 @@ class IncrementalEnsemFDet:
     pool:
         Optional :class:`ReusablePool`; both the initial fit and every
         update run their detection stage on these warm workers.
+    window:
+        Optional :class:`~repro.graph.WindowConfig`. When set, the
+        detector operates on a rolling window: each :meth:`update` may
+        carry deletion deltas (``remove_users`` / ``remove_merchants``),
+        expired edges leave the window automatically, and the refreshed
+        state stays bit-identical to a cold
+        :meth:`EnsemFDet.fit_window` on the live window.
     """
 
     def __init__(
-        self, config: EnsemFDetConfig | None = None, pool: ReusablePool | None = None
+        self,
+        config: EnsemFDetConfig | None = None,
+        pool: ReusablePool | None = None,
+        window: WindowConfig | None = None,
     ) -> None:
         if config is None:
             config = EnsemFDetConfig(sampler=StableEdgeSampler(0.1), seed=0)
@@ -173,10 +189,12 @@ class IncrementalEnsemFDet:
             )
         self.config = config
         self.pool = pool
+        self.window_config = window
         #: free-form JSON-able annotations persisted with the state (e.g.
         #: the watch CLI's source-file row offset)
         self.meta: dict = {}
         self._graph: BipartiteGraph | None = None
+        self._acc: GraphAccumulator | None = None
         self._samples: list[_SampleState] = []
         self._table: VoteTable | None = None
         #: members whose last refresh failed permanently — their votes are
@@ -208,14 +226,36 @@ class IncrementalEnsemFDet:
         if self._table is None:
             raise DetectionError("call fit() (or load()) before using the detector")
 
-    def fit(self, graph: BipartiteGraph) -> EnsemFDetResult:
+    def window(self) -> LiveWindow:
+        """Snapshot of the rolling window (windowed detectors only)."""
+        self._require_fitted()
+        if self._acc is None:
+            raise DetectionError(
+                "this detector is append-only; construct with window=WindowConfig(...)"
+            )
+        return self._acc.window()
+
+    def fit(self, graph: BipartiteGraph, timestamp: float = 0.0) -> EnsemFDetResult:
         """Cold fit on ``graph``; initialises the warm state.
 
         Member tracking is forced on: the persisted state records each
         sample's node labels so appearance counts can be refreshed after
-        a restart.
+        a restart. A windowed detector records ``graph`` as batch 0 of
+        the rolling window, at ``timestamp``.
         """
-        result = EnsemFDet(self.config, pool=self.pool).fit(graph, track_members=True)
+        if self.window_config is not None:
+            self._acc = GraphAccumulator.from_graph(
+                graph, window=self.window_config, timestamp=timestamp
+            )
+            live = self._acc.window()
+            result = EnsemFDet(self.config, pool=self.pool).fit_window(
+                live, track_members=True
+            )
+            graph = live.graph
+        else:
+            if timestamp:
+                raise DetectionError("fit timestamps require a windowed detector")
+            result = EnsemFDet(self.config, pool=self.pool).fit(graph, track_members=True)
         self._graph = graph
         self._samples = [
             _SampleState.from_detection(detection) for detection in result.sample_detections
@@ -233,16 +273,30 @@ class IncrementalEnsemFDet:
 
     def update(
         self,
-        users,
-        merchants,
+        users=None,
+        merchants=None,
         weights=None,
+        *,
+        remove_users=None,
+        remove_merchants=None,
+        timestamp: float | None = None,
     ) -> UpdateReport:
-        """Append an edge delta and refresh only the invalidated members.
+        """Apply an edge delta and refresh only the invalidated members.
 
         ``users`` / ``merchants`` are parallel arrays of **global labels**
         (unseen labels grow the partitions); ``weights`` is an optional
         parallel weight column. Returns an :class:`UpdateReport`; the
         refreshed detections are available through :meth:`detect`.
+
+        Windowed detectors additionally accept a *deletion delta*
+        (``remove_users`` / ``remove_merchants``: each pair retracts its
+        oldest live edge) and a batch ``timestamp``; edges falling out of
+        the rolling window expire automatically. A member is re-run
+        exactly when its stripe set intersects the appended, retracted or
+        expired ids, which keeps the state bit-identical to a cold
+        :meth:`EnsemFDet.fit_window` on the live window. On an
+        append-only detector the deletion/timestamp parameters raise
+        :class:`~repro.errors.DetectionError`.
 
         Because :class:`StableEdgeSampler` plans are prefix-stable, the
         stale members' plans are just their stripe rows re-hashed on the
@@ -251,6 +305,24 @@ class IncrementalEnsemFDet:
         (one shared-memory export per update on the process backend).
         """
         self._require_fitted()
+        if users is None:
+            users = np.empty(0, dtype=np.int64)
+        if merchants is None:
+            merchants = np.empty(0, dtype=np.int64)
+        if self.window_config is not None:
+            return self._update_windowed(
+                users, merchants, weights, remove_users, remove_merchants, timestamp
+            )
+        if remove_users is not None or remove_merchants is not None:
+            raise DetectionError(
+                "deletion deltas require a windowed detector "
+                "(construct with window=WindowConfig(...))"
+            )
+        if timestamp is not None:
+            raise DetectionError(
+                "batch timestamps require a windowed detector "
+                "(construct with window=WindowConfig(...))"
+            )
         config = self.config
         sampler: StableEdgeSampler = config.sampler
 
@@ -262,13 +334,9 @@ class IncrementalEnsemFDet:
             inclusion = sampler.stripe_inclusion(
                 sampler.n_stripes(new_graph.n_edges), config.n_samples, key
             )
-            if stop > start:
-                delta_stripes = np.unique(
-                    np.arange(start, stop, dtype=np.int64) // sampler.stripe
-                )
-                stale = np.nonzero(inclusion[:, delta_stripes].any(axis=1))[0]
-            else:
-                stale = np.empty(0, dtype=np.int64)
+            stale = self._stale_members(
+                inclusion, np.arange(start, stop, dtype=np.int64), sampler.stripe
+            )
             plans = [sampler.stripe_plan(inclusion[index]) for index in stale.tolist()]
 
         with Timer() as detection_timer:
@@ -284,11 +352,101 @@ class IncrementalEnsemFDet:
                 tolerance=config.tolerance,
             )
 
+        stale_indices = stale.tolist()
+        failures = self._merge_refreshed(run, stale_indices)
+        self._graph = new_graph
+        return UpdateReport(
+            n_new_edges=stop - start,
+            refreshed_samples=tuple(int(i) for i in stale_indices),
+            n_samples=config.n_samples,
+            sampling_seconds=sampling_timer.elapsed,
+            detection_seconds=detection_timer.elapsed,
+            failed_members=failures,
+            stale_members=tuple(sorted(self._degraded)),
+            retry_log=run.retry_log,
+        )
+
+    def _update_windowed(
+        self, users, merchants, weights, remove_users, remove_merchants, timestamp
+    ) -> UpdateReport:
+        """Windowed delta: retract, append, expire, then refresh stale members."""
+        config = self.config
+        sampler: StableEdgeSampler = config.sampler
+        acc = self._acc
+
+        with Timer() as sampling_timer:
+            if (remove_users is None) != (remove_merchants is None):
+                raise DetectionError(
+                    "remove_users and remove_merchants must be given together"
+                )
+            removed = (
+                acc.retract(remove_users, remove_merchants)
+                if remove_users is not None
+                else np.empty(0, dtype=np.int64)
+            )
+            start, stop = acc.append(users, merchants, weights, timestamp=timestamp)
+            expired = acc.expire()
+            acc.maybe_compact()
+            live = acc.window()
+            key = sampler.derive_key(resolve_rng(config.seed))
+            inclusion = sampler.stripe_inclusion(
+                sampler.n_stripes(live.watermark), config.n_samples, key
+            )
+            changed = np.concatenate(
+                [np.arange(start, stop, dtype=np.int64), removed, expired]
+            )
+            stale = self._stale_members(inclusion, changed, sampler.stripe)
+            plans = [sampler.stripe_plan(inclusion[index]) for index in stale.tolist()]
+
+        with Timer() as detection_timer:
+            run = run_members(
+                live.graph,
+                plans,
+                config.fdet,
+                mode=config.executor,
+                n_workers=config.n_workers,
+                pool=self.pool,
+                track_members=True,
+                shared_memory=config.shared_memory,
+                tolerance=config.tolerance,
+                window=live.edge_window(),
+            )
+
+        stale_indices = stale.tolist()
+        failures = self._merge_refreshed(run, stale_indices)
+        self._graph = live.graph
+        return UpdateReport(
+            n_new_edges=stop - start,
+            refreshed_samples=tuple(int(i) for i in stale_indices),
+            n_samples=config.n_samples,
+            sampling_seconds=sampling_timer.elapsed,
+            detection_seconds=detection_timer.elapsed,
+            failed_members=failures,
+            stale_members=tuple(sorted(self._degraded)),
+            retry_log=run.retry_log,
+            n_removed_edges=int(removed.size),
+            n_expired_edges=int(expired.size),
+        )
+
+    @staticmethod
+    def _stale_members(
+        inclusion: np.ndarray, changed_ids: np.ndarray, stripe: int
+    ) -> np.ndarray:
+        """Members whose stripe set intersects the changed append ids."""
+        if not changed_ids.size:
+            return np.empty(0, dtype=np.int64)
+        delta_stripes = np.unique(changed_ids // stripe)
+        return np.nonzero(inclusion[:, delta_stripes].any(axis=1))[0]
+
+    def _merge_refreshed(
+        self, run, stale_indices: list[int]
+    ) -> tuple[MemberFailure, ...]:
+        """Swap refreshed members' votes into the table; enforce the quorum."""
+        config = self.config
         if run.failures and config.tolerance.min_quorum >= 1.0:
             _raise_first_failure(run)
 
         # remap positional failure indices back to global member indices
-        stale_indices = stale.tolist()
         failures = tuple(
             MemberFailure(
                 index=stale_indices[failure.index],
@@ -333,18 +491,7 @@ class IncrementalEnsemFDet:
                 f"configured quorum of {required} "
                 f"(min_quorum={config.tolerance.min_quorum:g})"
             )
-
-        self._graph = new_graph
-        return UpdateReport(
-            n_new_edges=stop - start,
-            refreshed_samples=tuple(int(i) for i in stale_indices),
-            n_samples=config.n_samples,
-            sampling_seconds=sampling_timer.elapsed,
-            detection_seconds=detection_timer.elapsed,
-            failed_members=failures,
-            stale_members=tuple(sorted(self._degraded)),
-            retry_log=run.retry_log,
-        )
+        return failures
 
     def update_edges(self, edges, weights=None) -> UpdateReport:
         """Convenience: :meth:`update` from ``(user, merchant)`` pairs."""
@@ -436,14 +583,30 @@ class IncrementalEnsemFDet:
             meta["degraded_members"] = sorted(self._degraded)
         else:
             meta.pop("degraded_members", None)
+        graph = self._graph
+        window = None
+        edge_ids = None
+        if self._acc is not None:
+            # persist only the live rows; original append ids keep stripe
+            # membership stable when the window resumes
+            ws = self._acc.window_state()
+            graph = ws["graph"]
+            edge_ids = ws["edge_ids"]
+            window = {
+                "config": ws["config"],
+                "watermark": ws["watermark"],
+                "batches": ws["batches"],
+            }
         return DetectionState(
             config=self._config_dict(),
-            graph=self._graph,
+            graph=graph,
             detected_users=[s.detected_users for s in self._samples],
             detected_merchants=[s.detected_merchants for s in self._samples],
             sample_users=[s.sample_users for s in self._samples],
             sample_merchants=[s.sample_merchants for s in self._samples],
             meta=meta,
+            window=window,
+            edge_ids=edge_ids,
         )
 
     def save(self, path) -> None:
@@ -461,7 +624,18 @@ class IncrementalEnsemFDet:
                 f"state holds {state.n_samples} samples but config says "
                 f"{config.n_samples}"
             )
-        detector = cls(config, pool=pool)
+        window_config = None
+        if state.window is not None:
+            window_config = WindowConfig.from_dict(state.window["config"])
+        detector = cls(config, pool=pool, window=window_config)
+        if window_config is not None:
+            detector._acc = GraphAccumulator.restore_window(
+                state.graph,
+                window_config,
+                edge_ids=state.edge_ids,
+                watermark=int(state.window["watermark"]),
+                batches=state.window["batches"],
+            )
         detector.meta = dict(state.meta)
         detector._degraded = set(
             int(i) for i in detector.meta.pop("degraded_members", [])

@@ -16,11 +16,15 @@ Persistence is crash-safe:
   snapshot is first rotated to a rolling ``.bak``. A crash at any byte
   leaves either the old snapshot, the backup, or both on disk — never a
   half-written primary.
-* **Integrity** — format v2 stores a per-array CRC-32 manifest; any byte
-  flip in the payload fails either the zip container's own CRC or the
-  manifest and surfaces as :class:`~repro.errors.StateChecksumError`,
+* **Integrity** — since format v2 a per-array CRC-32 manifest is stored;
+  any byte flip in the payload fails either the zip container's own CRC or
+  the manifest and surfaces as :class:`~repro.errors.StateChecksumError`,
   never as a silently-wrong vote table. v1 archives (pre-checksum) still
   load.
+* **Windowing** — format v3 optionally records a rolling-window
+  configuration, the live-edge watermark/batch records, and each live
+  edge's original append id, so a windowed detector resumes with stable
+  stripe membership. v1/v2 archives (append-only, no window) still load.
 * **Recovery** — :func:`load_detection_state_with_recovery` falls back to
   the ``.bak`` snapshot when the primary is corrupt or missing, which is
   what the ``watch``/``update`` CLI uses to resume after a crash.
@@ -50,10 +54,11 @@ __all__ = [
 ]
 
 #: bumped whenever the archive layout changes incompatibly
-STATE_FORMAT_VERSION = 2
+STATE_FORMAT_VERSION = 3
 
-#: older formats this build still reads (v1: no checksum manifest)
-_LEGACY_FORMAT_VERSIONS = (1,)
+#: older formats this build still reads
+#: (v1: no checksum manifest; v2: no window metadata)
+_LEGACY_FORMAT_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -114,6 +119,16 @@ class DetectionState:
         Free-form JSON-able annotations carried alongside the state (e.g.
         the ``watch`` CLI records how many rows of its source file are
         already ingested). Preserved verbatim across save/load.
+    window:
+        ``None`` for append-only detectors. For windowed detectors, a
+        JSON-able dict ``{"config": ..., "watermark": ..., "batches": ...}``
+        describing the rolling window (see
+        :meth:`repro.graph.GraphAccumulator.window_state`); ``graph`` then
+        holds only the *live* edges.
+    edge_ids:
+        Original append ids of ``graph``'s rows (int64, strictly
+        increasing) when ``window`` is set; ``None`` otherwise. These keep
+        stripe-hash sample membership stable across expiry/compaction.
     """
 
     config: dict
@@ -123,6 +138,8 @@ class DetectionState:
     sample_users: list[np.ndarray]
     sample_merchants: list[np.ndarray]
     meta: dict = field(default_factory=dict)
+    window: dict | None = None
+    edge_ids: np.ndarray | None = None
 
     @property
     def n_samples(self) -> int:
@@ -209,6 +226,13 @@ def save_detection_state(state: DetectionState, path: str | os.PathLike[str]) ->
     }
     if graph.edge_weights is not None:
         arrays["edge_weights"] = graph.edge_weights
+    if state.window is not None:
+        if state.edge_ids is None:
+            raise StateError("windowed state requires edge_ids alongside window metadata")
+        arrays["window_json"] = np.frombuffer(
+            json.dumps(state.window, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        arrays["edge_ids"] = np.asarray(state.edge_ids, dtype=np.int64)
     for name, ragged in (
         ("detected_users", state.detected_users),
         ("detected_merchants", state.detected_merchants),
@@ -286,6 +310,15 @@ def _read_state(path: Path) -> DetectionState:
             user_labels=data["user_labels"],
             merchant_labels=data["merchant_labels"],
         )
+        window = None
+        edge_ids = None
+        if "window_json" in data:
+            window = json.loads(bytes(data["window_json"].tobytes()).decode("utf-8"))
+            if "edge_ids" not in data:
+                raise StateChecksumError(
+                    f"{path}: windowed archive is missing its edge_ids array"
+                )
+            edge_ids = data["edge_ids"].astype(np.int64, copy=False)
         ragged = {
             name: _unpack_ragged(data[f"{name}_flat"], data[f"{name}_offsets"])
             for name in (
@@ -300,7 +333,9 @@ def _read_state(path: Path) -> DetectionState:
         raise StateChecksumError(
             f"{path}: inconsistent per-sample array counts {counts}"
         )
-    return DetectionState(config=config, graph=graph, meta=meta, **ragged)
+    return DetectionState(
+        config=config, graph=graph, meta=meta, window=window, edge_ids=edge_ids, **ragged
+    )
 
 
 def load_detection_state(path: str | os.PathLike[str]) -> DetectionState:

@@ -56,6 +56,7 @@ from ..parallel import (
     kill_executor_workers,
     parallel_map,
 )
+from ..graph.window import EdgeWindow
 from ..parallel.executor import _process_context
 from ..sampling import SamplePlan, materialize_plan
 
@@ -164,20 +165,25 @@ def _detect_chunk(
     return [_detection(fdet, graph, track_members) for graph in graphs]
 
 
-def _resolve_parent(source: BipartiteGraph | GraphStore | StoreLayout) -> BipartiteGraph:
-    """The parent graph a worker materializes plans against.
+def _resolve_parent(
+    source: BipartiteGraph | GraphStore | StoreLayout,
+    window: EdgeWindow | None,
+) -> tuple[BipartiteGraph, EdgeWindow | None]:
+    """The parent graph (and liveness overlay) a worker materializes against.
 
     A :class:`StoreLayout` resolves through the process-local attachment
     cache (first touch maps the segment, later chunks and later fits on
     the same segment are dictionary hits); a pickled :class:`GraphStore`
     is the no-shared-memory fallback; a :class:`BipartiteGraph` arrives
-    only on in-process backends.
+    only on in-process backends. Stores carry their window columns in the
+    segment itself, so ``window`` is only consulted for in-process graphs.
     """
     if isinstance(source, StoreLayout):
-        return attached_store(source).to_graph()
+        store = attached_store(source)
+        return store.to_graph(), store.edge_window()
     if isinstance(source, GraphStore):
-        return source.to_graph()
-    return source
+        return source.to_graph(), source.edge_window()
+    return source, window
 
 
 def _attach_worker(layout: StoreLayout) -> None:
@@ -192,6 +198,7 @@ def _detect_member_chunk(
         list[tuple[int, SamplePlan]],
         bool,
         int,
+        EdgeWindow | None,
     ]
 ) -> list[tuple[int, SampleDetection]]:
     """Run a chunk of ``(member_index, plan)`` pairs in whatever process.
@@ -200,13 +207,14 @@ def _detect_member_chunk(
     plans exercise the real fan-out path (chunk pickling, segment attach,
     materialization) unmodified.
     """
-    source, config, members, track_members, attempt = args
-    graph = _resolve_parent(source)
+    source, config, members, track_members, attempt, window = args
+    graph, window = _resolve_parent(source, window)
     fdet = Fdet(config)
     out: list[tuple[int, SampleDetection]] = []
     for index, plan in members:
         fault_point("member.detect", index=index, attempt=attempt)
-        out.append((index, _detection(fdet, materialize_plan(graph, plan), track_members)))
+        subgraph = materialize_plan(graph, plan, window)
+        out.append((index, _detection(fdet, subgraph, track_members)))
     return out
 
 
@@ -262,6 +270,7 @@ def _run_serial(
     config: FdetConfig,
     track_members: bool,
     attempt: int,
+    window: EdgeWindow | None = None,
 ) -> tuple[dict[int, SampleDetection], dict[int, tuple[str, BaseException]]]:
     """In-parent attempt: no pool, no pickling, nothing left to degrade to."""
     fdet = Fdet(config)
@@ -271,7 +280,7 @@ def _run_serial(
         try:
             fault_point("member.detect", index=index, attempt=attempt)
             results[index] = _detection(
-                fdet, materialize_plan(graph, plan), track_members
+                fdet, materialize_plan(graph, plan, window), track_members
             )
         except Exception as exc:  # noqa: BLE001 - recorded, retried, re-raised by strict callers
             failures[index] = (_classify(exc), exc)
@@ -327,6 +336,7 @@ def _run_pooled(
     use_shm: bool,
     attempt: int,
     tolerance: FaultTolerance,
+    window: EdgeWindow | None = None,
 ) -> tuple[dict[int, SampleDetection], dict[int, tuple[str, BaseException]], bool]:
     """One thread/process attempt. Returns ``(results, failures, shm_used)``.
 
@@ -347,9 +357,13 @@ def _run_pooled(
     shared = None
     initializer = None
     initargs: tuple = ()
+    plan_window = window
     if process:
-        store = GraphStore.from_graph(graph)
+        # the liveness columns ride inside the store/segment; workers
+        # rebuild the EdgeWindow from the attached columns
+        store = GraphStore.from_graph(graph, window)
         source = store
+        plan_window = None
         if use_shm:
             try:
                 shared = store.export_shared()
@@ -368,7 +382,9 @@ def _run_pooled(
             # threads share memory: per-member tasks give the finest retry
             # granularity at no pickling cost
             chunks = [[member] for member in work]
-        args = [(source, config, chunk, track_members, attempt) for chunk in chunks]
+        args = [
+            (source, config, chunk, track_members, attempt, plan_window) for chunk in chunks
+        ]
 
         if borrowed_pool:
             submit = pool.submit
@@ -427,8 +443,14 @@ def run_members(
     track_members: bool = True,
     shared_memory: bool = True,
     tolerance: FaultTolerance | None = None,
+    window: EdgeWindow | None = None,
 ) -> MemberRun:
     """Fault-tolerant fan-out: every plan either detects or fails *typed*.
+
+    With ``window`` set, ``graph`` is the full stored graph of a rolling
+    window and every member materializes through the liveness overlay
+    (see :func:`repro.sampling.materialize_plan`); the overlay travels
+    through the shared segment / pickled store on process backends.
 
     The engine behind :func:`detect_on_plans` and
     :meth:`~repro.ensemble.EnsemFDet.fit`. Runs all members on the
@@ -471,7 +493,9 @@ def run_members(
             effective = n_workers or default_workers(len(work))
             in_parent = effective <= 1 or len(work) == 1
         if in_parent:
-            results, failures = _run_serial(graph, work, config, track_members, attempt)
+            results, failures = _run_serial(
+                graph, work, config, track_members, attempt, window
+            )
             shm_used = False
         else:
             attempt_pool = pool if (pool is not None and pool.mode == backend) else None
@@ -486,6 +510,7 @@ def run_members(
                 use_shm,
                 attempt,
                 tolerance,
+                window,
             )
 
         for index, detection in results.items():
@@ -567,6 +592,7 @@ def detect_on_plans(
     track_members: bool = True,
     shared_memory: bool = True,
     tolerance: FaultTolerance | None = None,
+    window: EdgeWindow | None = None,
 ) -> list[SampleDetection]:
     """Materialize every plan against ``graph`` and run FDET on it.
 
@@ -612,6 +638,7 @@ def detect_on_plans(
         track_members=track_members,
         shared_memory=shared_memory,
         tolerance=tolerance or FaultTolerance.strict(),
+        window=window,
     )
     _raise_first_failure(run)
     return [detection for detection in run.detections if detection is not None]

@@ -18,6 +18,7 @@ from .projections import co_purchase_counts, project_merchants, project_users
 from .store import GraphStore, SharedGraphStore, StoreLayout, attached_store, detach_all
 from .stats import GraphStats, degree_gini, degree_histogram, describe, edge_density
 from .validation import assert_subgraph_of, has_duplicate_edges, validate_graph
+from .window import EdgeWindow, LiveWindow, WindowConfig
 
 __all__ = [
     "BipartiteGraph",
@@ -29,6 +30,9 @@ __all__ = [
     "GraphBuilder",
     "BuiltGraph",
     "GraphAccumulator",
+    "WindowConfig",
+    "LiveWindow",
+    "EdgeWindow",
     "EdgeBatch",
     "iter_edge_batches",
     "iter_npz_batches",

@@ -19,8 +19,10 @@ from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..errors import GraphError
+from ..errors import GraphError, InjectedFault
+from ..faults import fault_point
 from .bipartite import BipartiteGraph
+from .window import LiveWindow, WindowConfig
 
 __all__ = ["GraphBuilder", "BuiltGraph", "GraphAccumulator"]
 
@@ -189,9 +191,23 @@ class GraphAccumulator:
 
     ``append`` returns the ``(start, stop)`` edge-index range of the batch,
     which is what incremental detectors use to locate the delta.
+
+    Windowed mode
+    -------------
+    Constructed with a :class:`~repro.graph.window.WindowConfig`, the
+    accumulator additionally tracks per-edge *liveness*: every appended
+    edge gets a permanent append id, :meth:`expire` tombstones edges that
+    fall out of the rolling window (by batch count and/or timestamp
+    horizon), :meth:`retract` tombstones explicitly deleted edges, and
+    :meth:`compact` reclaims tombstoned rows once :attr:`dead_fraction`
+    crosses the configured threshold — ids survive compaction, physical
+    rows do not. :meth:`window` snapshots the state as a
+    :class:`~repro.graph.window.LiveWindow`. In windowed mode ``append``
+    returns the batch's *id* range, which equals the physical range only
+    until the first compaction.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, window: WindowConfig | None = None) -> None:
         self._user_index: dict[int, int] = {}
         self._merchant_index: dict[int, int] = {}
         self._user_labels: list[int] = []
@@ -205,16 +221,29 @@ class GraphAccumulator:
         self._pending_weights: list[np.ndarray | None] = []
         self._pending_edges = 0
         self._any_weighted = False
+        # windowed-mode state (maintained only when _window is set)
+        self._window = window
+        self._alive = np.empty(0, dtype=bool)
+        self._edge_ids = np.empty(0, dtype=np.int64)
+        self._watermark = 0
+        self._batches: list[list[float]] = []  # [start_id, stop_id, timestamp]
 
     @classmethod
-    def from_graph(cls, graph: BipartiteGraph) -> "GraphAccumulator":
+    def from_graph(
+        cls,
+        graph: BipartiteGraph,
+        window: WindowConfig | None = None,
+        timestamp: float = 0.0,
+    ) -> "GraphAccumulator":
         """Seed an accumulator with an existing graph's nodes and edges.
 
         Later batches append *after* the graph's edges (indices
         ``graph.n_edges`` onwards) and intern against its labels, so a
         detector state fitted on ``graph`` can keep growing it in place.
+        With ``window`` set, the graph becomes batch 0 of the rolling
+        window (all edges live, ids ``0..n_edges``) at ``timestamp``.
         """
-        acc = cls()
+        acc = cls(window=window)
         acc._user_labels = graph.user_labels.tolist()
         acc._merchant_labels = graph.merchant_labels.tolist()
         acc._user_index = {label: i for i, label in enumerate(acc._user_labels)}
@@ -227,6 +256,54 @@ class GraphAccumulator:
         acc._edge_merchants = graph.edge_merchants
         acc._weights = graph.edge_weights
         acc._any_weighted = graph.edge_weights is not None
+        if window is not None:
+            acc._alive = np.ones(graph.n_edges, dtype=bool)
+            acc._edge_ids = np.arange(graph.n_edges, dtype=np.int64)
+            acc._watermark = graph.n_edges
+            acc._batches = [[0, graph.n_edges, float(timestamp)]]
+        return acc
+
+    @classmethod
+    def restore_window(
+        cls,
+        graph: BipartiteGraph,
+        window: WindowConfig,
+        *,
+        edge_ids: np.ndarray,
+        watermark: int,
+        batches: Sequence[Sequence[float]],
+    ) -> "GraphAccumulator":
+        """Rebuild a windowed accumulator from persisted state.
+
+        ``graph`` must hold only live edges (states are compacted before
+        saving), ``edge_ids`` their original append ids (strictly
+        increasing), ``watermark`` the id-space bound, and ``batches`` the
+        surviving ``[start_id, stop_id, timestamp]`` records.
+        """
+        if window is None:
+            raise GraphError("restore_window requires a WindowConfig")
+        acc = cls.from_graph(graph, window=window)
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        if ids.shape != (graph.n_edges,):
+            raise GraphError(
+                f"edge_ids length {ids.size} does not match graph edges {graph.n_edges}"
+            )
+        if ids.size and not bool(np.all(ids[1:] > ids[:-1])):
+            raise GraphError("window edge ids must be strictly increasing")
+        watermark = int(watermark)
+        floor = int(ids[-1]) + 1 if ids.size else 0
+        if watermark < floor:
+            raise GraphError(f"window watermark {watermark} below newest edge id {floor - 1}")
+        records = [[int(b[0]), int(b[1]), float(b[2])] for b in batches]
+        for prev, cur in zip(records, records[1:]):
+            if cur[0] < prev[1] or cur[2] < prev[2]:
+                raise GraphError("window batch records must be ordered and non-overlapping")
+        if records and records[-1][1] > watermark:
+            raise GraphError("window batch records extend past the watermark")
+        acc._edge_ids = ids
+        acc._alive = np.ones(ids.size, dtype=bool)
+        acc._watermark = watermark
+        acc._batches = records
         return acc
 
     @property
@@ -274,12 +351,17 @@ class GraphAccumulator:
         users: Sequence[int] | np.ndarray,
         merchants: Sequence[int] | np.ndarray,
         weights: Sequence[float] | np.ndarray | None = None,
+        timestamp: float | None = None,
     ) -> tuple[int, int]:
         """Append one batch of ``(user_label, merchant_label[, weight])`` edges.
 
         Only the incoming batch is validated; the existing prefix is left
         untouched. Returns the half-open edge-index range ``(start, stop)``
-        the batch now occupies.
+        the batch now occupies — append *ids* in windowed mode, where the
+        batch is also recorded at ``timestamp`` (defaults to the previous
+        batch's timestamp + 1, i.e. ordinal time; explicit timestamps must
+        be non-decreasing). ``timestamp`` is rejected outside windowed
+        mode, where there is no clock to attach it to.
         """
         raw_users = np.asarray(users, dtype=np.int64)
         raw_merchants = np.asarray(merchants, dtype=np.int64)
@@ -294,8 +376,10 @@ class GraphAccumulator:
             batch_weights = np.asarray(weights, dtype=np.float64)
             if batch_weights.shape != raw_users.shape:
                 raise GraphError("batch weights length does not match batch edge count")
+        if timestamp is not None and self._window is None:
+            raise GraphError("append timestamps are only meaningful in windowed mode")
 
-        start = self.n_edges
+        start = self._watermark if self._window is not None else self.n_edges
         if batch_weights is not None:
             self._any_weighted = True
         if raw_users.size:
@@ -310,7 +394,29 @@ class GraphAccumulator:
             # turns weighted
             self._pending_weights.append(batch_weights)
             self._pending_edges += int(raw_users.size)
-        return start, self.n_edges
+        if self._window is None:
+            return start, self.n_edges
+
+        # windowed bookkeeping: eager consolidation keeps the liveness
+        # columns aligned with the physical rows at all times
+        if self._batches:
+            ts = self._batches[-1][2] + 1.0 if timestamp is None else float(timestamp)
+            if ts < self._batches[-1][2]:
+                raise GraphError(
+                    f"batch timestamps must be non-decreasing: {ts} after {self._batches[-1][2]}"
+                )
+        else:
+            ts = 0.0 if timestamp is None else float(timestamp)
+        self._consolidate()
+        stop = start + int(raw_users.size)
+        if raw_users.size:
+            self._alive = np.concatenate([self._alive, np.ones(raw_users.size, dtype=bool)])
+            self._edge_ids = np.concatenate(
+                [self._edge_ids, np.arange(start, stop, dtype=np.int64)]
+            )
+        self._watermark = stop
+        self._batches.append([start, stop, ts])
+        return start, stop
 
     def _consolidate(self) -> None:
         if self._any_weighted and self._weights is None:
@@ -352,3 +458,226 @@ class GraphAccumulator:
             user_labels=np.array(self._user_labels, dtype=np.int64),
             merchant_labels=np.array(self._merchant_labels, dtype=np.int64),
         )
+
+    # ------------------------------------------------------------------
+    # windowed mode: liveness, expiry, deletion, compaction
+    # ------------------------------------------------------------------
+
+    def _require_window(self) -> WindowConfig:
+        if self._window is None:
+            raise GraphError(
+                "this operation needs a windowed accumulator "
+                "(construct with a WindowConfig)"
+            )
+        return self._window
+
+    @property
+    def window_config(self) -> WindowConfig | None:
+        """The retention policy, or ``None`` in append-only mode."""
+        return self._window
+
+    @property
+    def watermark(self) -> int:
+        """Total edges ever appended (the exclusive append-id bound)."""
+        return self._watermark if self._window is not None else self.n_edges
+
+    @property
+    def n_live(self) -> int:
+        """Edges currently inside the window (all of them when append-only)."""
+        if self._window is None:
+            return self.n_edges
+        return int(np.count_nonzero(self._alive))
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of physical rows that are tombstones awaiting compaction."""
+        if self._window is None or not self._alive.size:
+            return 0.0
+        return 1.0 - int(np.count_nonzero(self._alive)) / int(self._alive.size)
+
+    def _lookup_batch(self, raw: np.ndarray, index: dict[int, int], side: str) -> np.ndarray:
+        """Map raw labels to dense indices without interning; unknown raises."""
+        unique, inverse = np.unique(raw, return_inverse=True)
+        lut = np.empty(unique.size, dtype=np.int64)
+        get = index.get
+        for position, label in enumerate(unique.tolist()):
+            node = get(label)
+            if node is None:
+                raise GraphError(f"cannot retract edge of unknown {side} label {label}")
+            lut[position] = node
+        return lut[inverse]
+
+    def retract(
+        self,
+        users: Sequence[int] | np.ndarray,
+        merchants: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """Tombstone one live edge per ``(user_label, merchant_label)`` pair.
+
+        Deletion deltas name edges by endpoint labels, not append ids; each
+        occurrence retracts the *oldest* still-live matching edge (so a
+        delta listing a pair twice retracts the two oldest copies). Raises
+        :class:`GraphError` if any pair has no live edge left. Returns the
+        retracted append ids, ascending.
+        """
+        self._require_window()
+        raw_users = np.asarray(users, dtype=np.int64)
+        raw_merchants = np.asarray(merchants, dtype=np.int64)
+        if raw_users.ndim != 1 or raw_merchants.ndim != 1:
+            raise GraphError("retract batches must be one-dimensional label arrays")
+        if raw_users.shape != raw_merchants.shape:
+            raise GraphError(
+                f"retract endpoint arrays differ in length: "
+                f"{raw_users.size} vs {raw_merchants.size}"
+            )
+        if not raw_users.size:
+            return np.empty(0, dtype=np.int64)
+        u_idx = self._lookup_batch(raw_users, self._user_index, "user")
+        m_idx = self._lookup_batch(raw_merchants, self._merchant_index, "merchant")
+
+        span = np.int64(max(len(self._merchant_labels), 1))
+        delta_keys = u_idx * span + m_idx
+        rows = np.nonzero(self._alive)[0]
+        live_keys = self._edge_users[rows] * span + self._edge_merchants[rows]
+        # stable sort: within a key, live rows stay in id order (oldest first)
+        order = np.argsort(live_keys, kind="stable")
+        sorted_keys = live_keys[order]
+        # rank each delta occurrence among its equal-key run, so the k-th
+        # occurrence of a pair matches the k-th oldest live copy
+        delta_order = np.argsort(delta_keys, kind="stable")
+        delta_sorted = delta_keys[delta_order]
+        run_starts = np.nonzero(np.r_[True, delta_sorted[1:] != delta_sorted[:-1]])[0]
+        run_lengths = np.diff(np.r_[run_starts, delta_sorted.size])
+        ranks = np.arange(delta_sorted.size) - np.repeat(run_starts, run_lengths)
+        positions = np.searchsorted(sorted_keys, delta_sorted, side="left") + ranks
+        in_bounds = positions < sorted_keys.size
+        matched = in_bounds.copy()
+        matched[in_bounds] &= sorted_keys[positions[in_bounds]] == delta_sorted[in_bounds]
+        if not bool(matched.all()):
+            offender = int(delta_order[np.nonzero(~matched)[0][0]])
+            raise GraphError(
+                "no live edge to retract for "
+                f"({int(raw_users[offender])}, {int(raw_merchants[offender])})"
+            )
+        hit_rows = rows[order[positions]]
+        self._alive[hit_rows] = False
+        return np.sort(self._edge_ids[hit_rows])
+
+    def expire(self, now: float | None = None) -> np.ndarray:
+        """Tombstone every live edge that has fallen out of the window.
+
+        The cutoff is the tighter of the two configured bounds: edges
+        outside the last ``max_batches`` batches, and edges of batches
+        older than ``horizon`` before the newest timestamp (or ``now``).
+        Fully-expired batch records are pruned. Returns the newly expired
+        append ids, ascending.
+        """
+        window = self._require_window()
+        self._consolidate()
+        cutoff = 0
+        if window.max_batches is not None and len(self._batches) > window.max_batches:
+            cutoff = max(cutoff, int(self._batches[-window.max_batches][0]))
+        if window.horizon is not None and self._batches:
+            latest = float(self._batches[-1][2]) if now is None else float(now)
+            oldest_live = latest - float(window.horizon)
+            stale_stop = self._watermark  # if every batch is stale
+            for start, _stop, ts in self._batches:
+                if ts >= oldest_live:
+                    stale_stop = int(start)
+                    break
+            cutoff = max(cutoff, stale_stop)
+        if not cutoff:
+            return np.empty(0, dtype=np.int64)
+        newly = self._alive & (self._edge_ids < cutoff)
+        expired = self._edge_ids[newly]
+        self._alive[newly] = False
+        # drop fully-expired records; an empty batch at the cutoff is the
+        # newest tick of the clock and must survive
+        self._batches = [
+            record for record in self._batches if record[0] >= cutoff or record[1] > cutoff
+        ]
+        return expired
+
+    def compact(self) -> int:
+        """Drop tombstoned physical rows; append ids are preserved.
+
+        Returns the number of rows reclaimed. The ``window.compact``
+        fault point fires *before* any mutation, so an injected failure
+        leaves the accumulator consistent (just uncompacted).
+        """
+        self._require_window()
+        self._consolidate()
+        dead = int(self._alive.size) - int(np.count_nonzero(self._alive))
+        fault_point("window.compact", watermark=self._watermark, dead=dead)
+        if not dead:
+            return 0
+        keep = self._alive
+        self._edge_users = self._edge_users[keep]
+        self._edge_merchants = self._edge_merchants[keep]
+        if self._weights is not None:
+            self._weights = self._weights[keep]
+        self._edge_ids = self._edge_ids[keep]
+        self._alive = np.ones(self._edge_ids.size, dtype=bool)
+        return dead
+
+    def maybe_compact(self) -> bool:
+        """Compact once :attr:`dead_fraction` exceeds the threshold.
+
+        Compaction is a pure memory optimisation — every read honors the
+        liveness mask either way — so an injected fault or allocation
+        failure just defers it to the next threshold crossing.
+        """
+        window = self._window
+        if window is None or self.dead_fraction <= window.compact_threshold:
+            return False
+        try:
+            self.compact()
+        except (InjectedFault, MemoryError):
+            return False
+        return True
+
+    def window(self) -> LiveWindow:
+        """Snapshot the windowed state (graph + liveness overlay).
+
+        The snapshot is immutable: later retract/expire calls mutate the
+        accumulator's own mask, never a previously returned window, and
+        compaction swaps in fresh arrays rather than editing shared ones.
+        """
+        self._require_window()
+        return LiveWindow(
+            graph=self.graph(),
+            alive=self._alive.copy(),
+            edge_ids=self._edge_ids.copy(),
+            watermark=self._watermark,
+        )
+
+    def live_graph(self) -> BipartiteGraph:
+        """The live edges only, keeping the full node set and labels."""
+        return self.window().live_graph()
+
+    def window_state(self) -> dict:
+        """Persistable form of the windowed state (DetectionState v3).
+
+        Filters to live rows with pure array ops (no fault points, no
+        mutation), so saving never interacts with compaction chaos plans.
+        """
+        window = self._require_window()
+        self._consolidate()
+        keep = self._alive
+        weights = self._weights[keep] if self._weights is not None else None
+        graph = BipartiteGraph._from_trusted(
+            n_users=len(self._user_labels),
+            n_merchants=len(self._merchant_labels),
+            edge_users=self._edge_users[keep],
+            edge_merchants=self._edge_merchants[keep],
+            edge_weights=weights,
+            user_labels=np.array(self._user_labels, dtype=np.int64),
+            merchant_labels=np.array(self._merchant_labels, dtype=np.int64),
+        )
+        return {
+            "config": window.as_dict(),
+            "watermark": int(self._watermark),
+            "batches": [[int(s), int(e), float(t)] for s, e, t in self._batches],
+            "graph": graph,
+            "edge_ids": self._edge_ids[keep].copy(),
+        }

@@ -59,7 +59,25 @@ class EdgeBatch(NamedTuple):
 def _parse_header(header: str, path: Path) -> dict[str, str]:
     if not header.startswith(_HEADER_PREFIX):
         raise GraphError(f"{path}: missing '{_HEADER_PREFIX}' header")
-    return dict(item.split("=") for item in header.strip().split()[2:])
+    fields: dict[str, str] = {}
+    for item in header.strip().split()[2:]:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            # e.g. the writer crashed mid-header and left "mer" or "=5"
+            raise GraphError(
+                f"{path}: malformed header token {item!r} "
+                "(truncated or corrupted file?)"
+            )
+        fields[key] = value
+    return fields
+
+
+def _weighted_flag(fields: dict[str, str], path: Path) -> bool:
+    flag = fields.get("weighted", "0")
+    try:
+        return bool(int(flag))
+    except ValueError:
+        raise GraphError(f"{path}: malformed weighted= flag {flag!r} in header") from None
 
 
 def _declared_edges(fields: dict[str, str], path: Path) -> int | None:
@@ -120,12 +138,23 @@ def _iter_rows(
         parts = line.split("\t")
         if len(parts) < 2:
             raise GraphError(f"{path}:{line_no}: expected at least two columns")
-        weight = 1.0
-        if weighted:
-            if len(parts) < 3:
-                raise GraphError(f"{path}:{line_no}: weighted file missing weight column")
-            weight = float(parts[2])
-        yield int(parts[0]), int(parts[1]), weight
+        try:
+            weight = 1.0
+            if weighted:
+                if len(parts) < 3:
+                    raise GraphError(
+                        f"{path}:{line_no}: weighted file missing weight column"
+                    )
+                weight = float(parts[2])
+            yield int(parts[0]), int(parts[1]), weight
+        except ValueError as exc:
+            # a row cut mid-write ("123\t45" → "123\t4") parses as the wrong
+            # edge silently only if every token survives; a half token must
+            # surface as a parse error, not a bare ValueError
+            raise GraphError(
+                f"{path}:{line_no}: unparsable edge row {line!r} "
+                f"({exc}); truncated or corrupted file?"
+            ) from exc
 
 
 def load_edge_list(path: str | os.PathLike[str]) -> BipartiteGraph:
@@ -141,7 +170,7 @@ def load_edge_list(path: str | os.PathLike[str]) -> BipartiteGraph:
     weights: list[float] = []
     with path.open("r", encoding="utf-8") as fh:
         fields = _parse_header(fh.readline(), path)
-        weighted = bool(int(fields.get("weighted", "0")))
+        weighted = _weighted_flag(fields, path)
         for user, merchant, weight in _iter_rows(fh, path, weighted):
             edge_users.append(user)
             edge_merchants.append(merchant)
@@ -196,7 +225,7 @@ def iter_edge_batches(
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
         fields = _parse_header(fh.readline(), path)
-        weighted = bool(int(fields.get("weighted", "0")))
+        weighted = _weighted_flag(fields, path)
         users: list[int] = []
         merchants: list[int] = []
         weights: list[float] = []
@@ -252,7 +281,9 @@ def _canonical_labels(graph: BipartiteGraph) -> BipartiteGraph:
 
 
 def load_edge_list_chunked(
-    path: str | os.PathLike[str], batch_size: int = DEFAULT_BATCH_SIZE
+    path: str | os.PathLike[str],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    strict: bool = True,
 ) -> BipartiteGraph:
     """Constant-memory equivalent of :func:`load_edge_list`.
 
@@ -261,13 +292,19 @@ def load_edge_list_chunked(
     output graph plus one chunk) and returns a graph **bitwise-identical**
     to the whole-file loader's: same edge order, same sorted label arrays,
     same dtypes.
+
+    ``strict=False`` skips the header ``edges=`` cross-check, for files
+    still being appended to (the loaded graph then reflects whatever
+    complete rows were present). A row cut mid-write still raises
+    :class:`~repro.errors.GraphError` — a half-written token must never
+    load as a different edge.
     """
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
         fields = _parse_header(fh.readline(), path)
-    weighted = bool(int(fields.get("weighted", "0")))
+    weighted = _weighted_flag(fields, path)
     accumulator = GraphAccumulator()
-    for batch in iter_edge_batches(path, batch_size=batch_size):
+    for batch in iter_edge_batches(path, batch_size=batch_size, strict=strict):
         accumulator.append(batch.users, batch.merchants, batch.weights)
     graph = _canonical_labels(accumulator.graph())
     if weighted and graph.edge_weights is None:

@@ -38,6 +38,7 @@ import numpy as np
 from ..errors import GraphError
 from ..faults import fault_point
 from .bipartite import BipartiteGraph
+from .window import EdgeWindow
 
 __all__ = [
     "GraphStore",
@@ -49,6 +50,7 @@ __all__ = [
 
 _INT = np.dtype(np.int64)
 _FLOAT = np.dtype(np.float64)
+_BOOL = np.dtype(np.bool_)
 
 
 @dataclass(frozen=True)
@@ -58,7 +60,10 @@ class StoreLayout:
     The five columns live at fixed, derivable offsets — ``edge_users``,
     ``edge_merchants``, ``user_labels``, ``merchant_labels`` (all int64),
     then ``edge_weights`` (float64) when ``weighted`` — so the layout only
-    needs the partition sizes, not per-array bookkeeping.
+    needs the partition sizes, not per-array bookkeeping. ``windowed``
+    appends the two rolling-window columns, ``edge_ids`` (int64 append
+    ids) and ``edge_alive`` (bool liveness mask), so windowed fits ship
+    their liveness overlay through the same zero-copy segment.
     """
 
     segment: str
@@ -66,6 +71,7 @@ class StoreLayout:
     n_merchants: int
     n_edges: int
     weighted: bool
+    windowed: bool = False
 
     @property
     def nbytes(self) -> int:
@@ -73,6 +79,8 @@ class StoreLayout:
         total = _INT.itemsize * (2 * self.n_edges + self.n_users + self.n_merchants)
         if self.weighted:
             total += _FLOAT.itemsize * self.n_edges
+        if self.windowed:
+            total += (_INT.itemsize + _BOOL.itemsize) * self.n_edges
         return total
 
     def slots(self) -> list[tuple[str, int, np.dtype, int]]:
@@ -85,6 +93,9 @@ class StoreLayout:
         ]
         if self.weighted:
             columns.append(("edge_weights", self.n_edges, _FLOAT))
+        if self.windowed:
+            columns.append(("edge_ids", self.n_edges, _INT))
+            columns.append(("edge_alive", self.n_edges, _BOOL))
         out = []
         offset = 0
         for name, length, dtype in columns:
@@ -110,6 +121,8 @@ class GraphStore:
         "edge_weights",
         "user_labels",
         "merchant_labels",
+        "edge_ids",
+        "edge_alive",
         "__weakref__",
     )
 
@@ -122,6 +135,8 @@ class GraphStore:
         edge_weights: np.ndarray | None,
         user_labels: np.ndarray,
         merchant_labels: np.ndarray,
+        edge_ids: np.ndarray | None = None,
+        edge_alive: np.ndarray | None = None,
     ) -> None:
         self.n_users = int(n_users)
         self.n_merchants = int(n_merchants)
@@ -130,14 +145,21 @@ class GraphStore:
         self.edge_weights = edge_weights
         self.user_labels = user_labels
         self.merchant_labels = merchant_labels
+        self.edge_ids = edge_ids
+        self.edge_alive = edge_alive
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_graph(cls, graph: BipartiteGraph) -> "GraphStore":
-        """Wrap ``graph``'s columns without copying."""
+    def from_graph(cls, graph: BipartiteGraph, window: EdgeWindow | None = None) -> "GraphStore":
+        """Wrap ``graph``'s columns (and a liveness overlay) without copying."""
+        if window is not None and window.alive.shape != (graph.n_edges,):
+            raise GraphError(
+                f"window columns cover {window.alive.shape[0]} rows, "
+                f"graph has {graph.n_edges}"
+            )
         return cls(
             n_users=graph.n_users,
             n_merchants=graph.n_merchants,
@@ -146,7 +168,15 @@ class GraphStore:
             edge_weights=graph.edge_weights,
             user_labels=graph.user_labels,
             merchant_labels=graph.merchant_labels,
+            edge_ids=None if window is None else window.edge_ids,
+            edge_alive=None if window is None else window.alive,
         )
+
+    def edge_window(self) -> EdgeWindow | None:
+        """The liveness overlay, when this store carries one."""
+        if self.edge_alive is None or self.edge_ids is None:
+            return None
+        return EdgeWindow(alive=self.edge_alive, edge_ids=self.edge_ids)
 
     def to_graph(self) -> BipartiteGraph:
         """A :class:`BipartiteGraph` view over the stored columns.
@@ -177,6 +207,10 @@ class GraphStore:
         total += self.user_labels.nbytes + self.merchant_labels.nbytes
         if self.edge_weights is not None:
             total += self.edge_weights.nbytes
+        if self.edge_ids is not None:
+            total += self.edge_ids.nbytes
+        if self.edge_alive is not None:
+            total += self.edge_alive.nbytes
         return total
 
     # ------------------------------------------------------------------
@@ -195,6 +229,7 @@ class GraphStore:
             n_merchants=self.n_merchants,
             n_edges=self.n_edges,
             weighted=self.edge_weights is not None,
+            windowed=self.edge_alive is not None and self.edge_ids is not None,
         )
         shm = shared_memory.SharedMemory(
             create=True, size=max(1, layout.nbytes), name=layout.segment
@@ -240,6 +275,8 @@ class GraphStore:
                 edge_weights=columns.get("edge_weights"),
                 user_labels=columns["user_labels"],
                 merchant_labels=columns["merchant_labels"],
+                edge_ids=columns.get("edge_ids"),
+                edge_alive=columns.get("edge_alive"),
             ),
             shm,
         )

@@ -1,0 +1,146 @@
+"""Rolling-window liveness model for streaming graphs.
+
+The append-only :class:`~repro.graph.builder.GraphAccumulator` treats the
+transaction log as immortal: every edge ever appended votes forever. Real
+fraud moves in time — attacks ramp up, go dormant, and sometimes delete
+their own traces — and stale honest history dilutes the vote scores of
+everything that follows. The windowed mode bounds the graph to *live*
+edges only:
+
+* :class:`WindowConfig` — the retention policy: keep the last
+  ``max_batches`` appended batches, or every batch within a ``horizon``
+  of the newest timestamp (or both; an edge must satisfy every configured
+  bound to stay live).
+* :class:`LiveWindow` — an immutable snapshot of the windowed state: the
+  full *stored* graph (which may still contain tombstoned rows awaiting
+  compaction), the liveness mask over its physical rows, and the
+  **original append ids** of those rows. Stripe-hash sampling keys stripe
+  membership by append id, so expiring or compacting other edges can
+  never move a surviving edge between samples.
+* :class:`EdgeWindow` — the two per-row columns (`alive`, `edge_ids`) in
+  a picklable form, shipped to workers next to a
+  :class:`~repro.graph.store.StoreLayout` so the zero-copy fan-out stays
+  zero-copy.
+
+The watermark is the total number of edges ever appended — the exclusive
+upper bound of the id space. It only grows; compaction reclaims physical
+rows but never reuses ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from ..errors import GraphError
+from .bipartite import BipartiteGraph
+
+__all__ = ["WindowConfig", "EdgeWindow", "LiveWindow"]
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Retention policy of a rolling edge window.
+
+    At least one of ``max_batches`` / ``horizon`` must be set. When both
+    are, the *tighter* cutoff wins (an edge must be within the last
+    ``max_batches`` batches **and** within ``horizon`` of the newest
+    timestamp to stay live). ``compact_threshold`` is the dead-row
+    fraction above which the accumulator compacts its physical arrays.
+    """
+
+    max_batches: int | None = None
+    horizon: float | None = None
+    compact_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_batches is None and self.horizon is None:
+            raise GraphError("WindowConfig needs max_batches and/or horizon")
+        if self.max_batches is not None and int(self.max_batches) < 1:
+            raise GraphError(f"max_batches must be >= 1, got {self.max_batches}")
+        if self.horizon is not None and not float(self.horizon) > 0.0:
+            raise GraphError(f"horizon must be > 0, got {self.horizon}")
+        if not 0.0 < float(self.compact_threshold) <= 1.0:
+            raise GraphError(
+                f"compact_threshold must be in (0, 1], got {self.compact_threshold}"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-able form (DetectionState v3 ``window_json``)."""
+        return {
+            "max_batches": None if self.max_batches is None else int(self.max_batches),
+            "horizon": None if self.horizon is None else float(self.horizon),
+            "compact_threshold": float(self.compact_threshold),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WindowConfig":
+        """Inverse of :meth:`as_dict` (validates via the constructor)."""
+        if not isinstance(payload, dict):
+            raise GraphError(f"window config must be a mapping, got {type(payload).__name__}")
+        known = {"max_batches", "horizon", "compact_threshold"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise GraphError(f"unknown window config keys: {', '.join(unknown)}")
+        kwargs = dict(payload)
+        kwargs.setdefault("compact_threshold", 0.5)
+        return cls(**kwargs)
+
+
+class EdgeWindow(NamedTuple):
+    """Per-physical-row liveness columns, in picklable/shippable form.
+
+    ``alive[i]`` says whether stored edge row ``i`` is inside the window;
+    ``edge_ids[i]`` is its original append id (monotone along the rows —
+    appends are sequential and compaction preserves order).
+    """
+
+    alive: np.ndarray
+    edge_ids: np.ndarray
+
+
+@dataclass(frozen=True)
+class LiveWindow:
+    """Immutable snapshot of a windowed accumulator.
+
+    ``graph`` is the full stored graph *including* tombstoned rows — the
+    shape the zero-copy fan-out ships — while ``alive`` / ``edge_ids``
+    carry the liveness overlay. ``watermark`` is the exclusive upper
+    bound of the append-id space (total edges ever appended).
+    """
+
+    graph: BipartiteGraph
+    alive: np.ndarray
+    edge_ids: np.ndarray
+    watermark: int
+
+    def __post_init__(self) -> None:
+        if self.alive.shape != (self.graph.n_edges,) or self.alive.dtype != np.bool_:
+            raise GraphError("window alive mask must be bool of length n_edges")
+        if self.edge_ids.shape != (self.graph.n_edges,) or self.edge_ids.dtype != np.int64:
+            raise GraphError("window edge_ids must be int64 of length n_edges")
+        if self.graph.n_edges and int(self.edge_ids[-1]) >= int(self.watermark):
+            raise GraphError("window watermark below the newest edge id")
+
+    @property
+    def n_live(self) -> int:
+        """Number of live edges in the window."""
+        return int(np.count_nonzero(self.alive))
+
+    def edge_window(self) -> EdgeWindow:
+        """The picklable ``(alive, edge_ids)`` column pair."""
+        return EdgeWindow(alive=self.alive, edge_ids=self.edge_ids)
+
+    def live_graph(self) -> BipartiteGraph:
+        """The live edges only, keeping the full node set and labels.
+
+        Node indexing matches ``graph`` exactly, so detections computed on
+        the live graph speak the same label space as windowed sampling
+        over the stored graph — this is what makes a cold fit on
+        ``live_graph()`` comparable bit-for-bit with windowed updates.
+        """
+        if bool(self.alive.all()):
+            return self.graph
+        return self.graph.remove_edges(np.nonzero(~self.alive)[0])

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..errors import SamplingError
 from ..graph import BipartiteGraph
+from ..graph.window import EdgeWindow
 
 __all__ = [
     "SamplePlan",
@@ -126,14 +127,31 @@ class SamplePlan:
         return total
 
 
-def materialize_plan(graph: BipartiteGraph, plan: SamplePlan) -> BipartiteGraph:
+def materialize_plan(
+    graph: BipartiteGraph, plan: SamplePlan, window: EdgeWindow | None = None
+) -> BipartiteGraph:
     """Deterministically expand ``plan`` against its parent ``graph``.
 
     This is the worker-side half of sampling: no RNG, pure array work, and
     byte-for-byte the subgraph the eager ``sampler.sample`` call would have
     produced. ``graph`` may be a read-only shared-memory view.
+
+    With a ``window``, ``graph`` is the full *stored* graph of a rolling
+    window (tombstoned rows included): stripe membership is looked up by
+    each row's original append id — so expiring or compacting *other*
+    edges never moves a surviving edge between samples — and dead rows are
+    masked out. Only stripe plans support windows; the positional kinds
+    ("edges", "nodes") have no id-stable meaning over a mutating log.
     """
-    if plan.kind == "edges":
+    if window is not None:
+        if plan.kind != "stripes":
+            raise SamplingError(
+                f"windowed materialization requires stripe plans, got {plan.kind!r}"
+            )
+        ids = window.edge_ids if plan.stripe == 1 else window.edge_ids // plan.stripe
+        mask = plan.stripe_row[ids] & window.alive
+        subgraph = graph.edge_subgraph(np.nonzero(mask)[0])
+    elif plan.kind == "edges":
         subgraph = graph.edge_subgraph(plan.edge_indices)
     elif plan.kind == "stripes":
         row = plan.stripe_row

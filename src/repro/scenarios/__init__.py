@@ -9,6 +9,7 @@ from .generators import (
     SprayScenario,
     StagedCampaignScenario,
 )
+from .drift import DriftGridConfig, run_drift_grid
 from .harness import DETECTOR_NAMES, ScenarioGridConfig, evaluate_cell, run_grid
 from .registry import (
     SCENARIO_NAMES,
@@ -16,6 +17,7 @@ from .registry import (
     make_scenario,
     scenario_descriptions,
 )
+from .temporal import BurstDormantScenario, CleanupScenario, SlowRampScenario
 
 __all__ = [
     "BatchKind",
@@ -28,6 +30,11 @@ __all__ = [
     "StagedCampaignScenario",
     "SprayScenario",
     "SkewedTargetsScenario",
+    "SlowRampScenario",
+    "BurstDormantScenario",
+    "CleanupScenario",
+    "DriftGridConfig",
+    "run_drift_grid",
     "SCENARIO_NAMES",
     "available_scenarios",
     "make_scenario",

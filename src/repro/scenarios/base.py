@@ -55,16 +55,31 @@ class BatchKind:
     BACKGROUND = "background"
     ATTACK = "attack"
     WAVE = "wave"
+    #: edges to *retract* (attacker covering their tracks) — only windowed
+    #: detectors can honour it; append-only replays skip the batch
+    CLEANUP = "cleanup"
 
 
-def accumulate_batches(batches: tuple[EdgeBatch, ...] | list[EdgeBatch]) -> BipartiteGraph:
+def accumulate_batches(
+    batches: tuple[EdgeBatch, ...] | list[EdgeBatch],
+    kinds: tuple[str, ...] | list[str] | None = None,
+) -> BipartiteGraph:
     """Replay a scenario's batches through a fresh accumulator.
 
-    This is exactly what the streaming layer does with the stream; the
-    returned graph is bitwise-equal to ``ScenarioResult.dataset.graph``.
+    This is exactly what the append-only streaming layer does with the
+    stream; the returned graph is bitwise-equal to
+    ``ScenarioResult.dataset.graph``. With ``kinds``,
+    :data:`BatchKind.CLEANUP` batches are skipped — they list edges to
+    *remove*, which an append-only accumulator cannot express.
     """
+    if kinds is not None and len(kinds) != len(batches):
+        raise ScenarioError(
+            f"batch_kinds length {len(kinds)} does not match {len(batches)} batches"
+        )
     accumulator = GraphAccumulator()
-    for batch in batches:
+    for index, batch in enumerate(batches):
+        if kinds is not None and kinds[index] == BatchKind.CLEANUP:
+            continue
         accumulator.append(batch.users, batch.merchants, batch.weights)
     return accumulator.graph()
 
@@ -84,11 +99,12 @@ class ScenarioResult:
         provenance params.
     batches:
         The ordered replay stream. ``batches[0]`` is the honest
-        background; accumulating all batches reproduces
-        ``dataset.graph`` bitwise (see :func:`accumulate_batches`).
+        background; accumulating all non-:data:`BatchKind.CLEANUP`
+        batches reproduces ``dataset.graph`` bitwise (see
+        :func:`accumulate_batches`).
     batch_kinds:
         Parallel to ``batches``: :data:`BatchKind.BACKGROUND` /
-        ``ATTACK`` / ``WAVE`` role of each chunk.
+        ``ATTACK`` / ``WAVE`` / ``CLEANUP`` role of each chunk.
     """
 
     scenario: str
@@ -119,7 +135,7 @@ class ScenarioResult:
 
     def replay_graph(self) -> BipartiteGraph:
         """Re-accumulate the stream (bitwise-equal to ``dataset.graph``)."""
-        return accumulate_batches(self.batches)
+        return accumulate_batches(self.batches, self.batch_kinds)
 
 
 class Scenario(ABC):
@@ -181,7 +197,7 @@ class Scenario(ABC):
             *attack_batches,
         )
         batch_kinds = (BatchKind.BACKGROUND, *kinds)
-        graph = accumulate_batches(batches)
+        graph = accumulate_batches(batches, batch_kinds)
         fraud_users = np.unique(np.asarray(fraud_users, dtype=np.int64))
         dataset = Dataset(
             name=f"{self.name}@i{intensity:g}",

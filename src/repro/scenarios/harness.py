@@ -230,7 +230,9 @@ def evaluate_cell(
     with Timer() as timer:
         if info.streaming:
             detection = fitted.fit_stream(
-                accumulate_batches(instance.batches[:1]), instance.attack_batches
+                accumulate_batches(instance.batches[:1]),
+                instance.attack_batches,
+                kinds=instance.batch_kinds[1:],
             )
         else:
             detection = fitted.fit(instance.dataset.graph)

@@ -18,6 +18,7 @@ from .generators import (
     SprayScenario,
     StagedCampaignScenario,
 )
+from .temporal import BurstDormantScenario, CleanupScenario, SlowRampScenario
 
 __all__ = ["SCENARIO_NAMES", "available_scenarios", "make_scenario", "scenario_descriptions"]
 
@@ -28,6 +29,9 @@ _CLASSES: tuple[type[Scenario], ...] = (
     StagedCampaignScenario,
     SprayScenario,
     SkewedTargetsScenario,
+    SlowRampScenario,
+    BurstDormantScenario,
+    CleanupScenario,
 )
 
 _FACTORIES: dict[str, type[Scenario]] = {cls.name: cls for cls in _CLASSES}

@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for the rolling-window layer.
+
+Two contracts the windowed refactor stands on:
+
+* **membership stability** — stripe-hash sample membership is keyed by
+  original append id, so expiring, retracting or compacting *other*
+  edges never moves a surviving edge between ensemble members;
+* **replay equivalence** — streaming batches through a windowed
+  accumulator (append + retract + expire) lands on exactly the graph you
+  get by appending everything and then removing the dead append ids —
+  bitwise, for random streams and for every registered scenario
+  generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphAccumulator, WindowConfig
+from repro.sampling import StableEdgeSampler
+from repro.sampling.base import materialize_plan, resolve_rng
+from repro.scenarios import BatchKind, SCENARIO_NAMES, make_scenario
+
+N_SAMPLES = 4
+
+
+@st.composite
+def batch_streams(draw, max_batches=6, max_batch_size=12):
+    """Random append streams over a small label universe."""
+    n_batches = draw(st.integers(2, max_batches))
+    batches = []
+    for _ in range(n_batches):
+        size = draw(st.integers(1, max_batch_size))
+        users = draw(
+            st.lists(st.integers(0, 15), min_size=size, max_size=size)
+        )
+        merchants = draw(
+            st.lists(st.integers(0, 9), min_size=size, max_size=size)
+        )
+        batches.append((np.asarray(users), np.asarray(merchants)))
+    return batches
+
+
+def _memberships(sampler, window, n_samples, seed):
+    """Per-member sets of live append ids, via the stripe-hash tables."""
+    key = sampler.derive_key(resolve_rng(seed))
+    inclusion = sampler.stripe_inclusion(
+        sampler.n_stripes(window.watermark), n_samples, key
+    )
+    live_ids = window.edge_ids[window.alive]
+    return [
+        set(live_ids[inclusion[member][live_ids // sampler.stripe]].tolist())
+        for member in range(n_samples)
+    ]
+
+
+@given(
+    stream=batch_streams(),
+    keep=st.integers(1, 3),
+    stripe=st.sampled_from([1, 4, 16]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_survivor_membership_invariant_under_expiry(stream, keep, stripe, seed):
+    sampler = StableEdgeSampler(0.5, stripe=stripe)
+    acc = GraphAccumulator(window=WindowConfig(max_batches=keep))
+    for users, merchants in stream:
+        acc.append(users, merchants)
+    before = _memberships(sampler, acc.window(), N_SAMPLES, seed)
+
+    expired = set(acc.expire().tolist())
+    after = _memberships(sampler, acc.window(), N_SAMPLES, seed)
+
+    for member_before, member_after in zip(before, after):
+        # exactly the expired ids left; no survivor changed membership
+        assert member_after == member_before - expired
+
+
+@given(
+    stream=batch_streams(),
+    keep=st.integers(1, 3),
+    stripe=st.sampled_from([1, 4, 16]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_materialized_members_survive_compaction_bitwise(stream, keep, stripe, seed):
+    sampler = StableEdgeSampler(0.5, stripe=stripe)
+    acc = GraphAccumulator(window=WindowConfig(max_batches=keep))
+    for users, merchants in stream:
+        acc.append(users, merchants)
+    acc.expire()
+
+    key = sampler.derive_key(resolve_rng(seed))
+    inclusion = sampler.stripe_inclusion(
+        sampler.n_stripes(acc.window().watermark), N_SAMPLES, key
+    )
+    plans = [sampler.stripe_plan(inclusion[m]) for m in range(N_SAMPLES)]
+    window = acc.window()
+    before = [
+        materialize_plan(window.graph, plan, window.edge_window()) for plan in plans
+    ]
+    acc.compact()
+    window = acc.window()
+    after = [
+        materialize_plan(window.graph, plan, window.edge_window()) for plan in plans
+    ]
+    for sub_before, sub_after in zip(before, after):
+        assert sub_after == sub_before
+        assert np.array_equal(sub_after.edge_users, sub_before.edge_users)
+        assert np.array_equal(sub_after.edge_merchants, sub_before.edge_merchants)
+        assert np.array_equal(sub_after.user_labels, sub_before.user_labels)
+        assert np.array_equal(sub_after.merchant_labels, sub_before.merchant_labels)
+
+
+@given(stream=batch_streams(), keep=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_windowed_stream_equals_append_then_remove(stream, keep):
+    """accumulate+expire ≡ append everything, then drop the dead ids."""
+    windowed = GraphAccumulator(window=WindowConfig(max_batches=keep))
+    dead: list[int] = []
+    for users, merchants in stream:
+        windowed.append(users, merchants)
+        dead.extend(windowed.expire().tolist())
+
+    plain = GraphAccumulator()
+    for users, merchants in stream:
+        plain.append(users, merchants)
+    # append ids are positions in the append-only log, so the dead ids
+    # index the plain graph's edge rows directly
+    expected = plain.graph().remove_edges(np.asarray(sorted(dead), dtype=np.int64))
+
+    live = windowed.live_graph()
+    assert live == expected
+    assert np.array_equal(live.edge_users, expected.edge_users)
+    assert np.array_equal(live.edge_merchants, expected.edge_merchants)
+    assert np.array_equal(live.user_labels, expected.user_labels)
+    assert np.array_equal(live.merchant_labels, expected.merchant_labels)
+
+
+@given(
+    name=st.sampled_from(SCENARIO_NAMES),
+    seed=st.integers(0, 2**16),
+    # keep >= 4 so attack_cleanup's CLEANUP batch always finds its attack
+    # edges still live (retracting an expired edge is a GraphError)
+    keep=st.integers(4, 6),
+)
+@settings(max_examples=30, deadline=None)
+def test_every_generator_replays_bitwise_through_a_window(name, seed, keep):
+    """Windowed replay of every registry scenario ≡ live window from scratch.
+
+    CLEANUP batches retract; everything else appends and then expires.
+    The reference is the append-only accumulation of the same stream with
+    the dead append ids (expired + retracted) removed.
+    """
+    result = make_scenario(name).generate(intensity=1.0, scale=0.08, seed=seed)
+
+    windowed = GraphAccumulator(window=WindowConfig(max_batches=keep))
+    dead: list[int] = []
+    for batch, kind in zip(result.batches, result.batch_kinds):
+        if kind == BatchKind.CLEANUP:
+            dead.extend(windowed.retract(batch.users, batch.merchants).tolist())
+        else:
+            windowed.append(batch.users, batch.merchants, batch.weights)
+            dead.extend(windowed.expire().tolist())
+        windowed.maybe_compact()
+
+    plain = GraphAccumulator()
+    for batch, kind in zip(result.batches, result.batch_kinds):
+        if kind != BatchKind.CLEANUP:
+            plain.append(batch.users, batch.merchants, batch.weights)
+    expected = plain.graph().remove_edges(np.asarray(sorted(dead), dtype=np.int64))
+
+    live = windowed.live_graph()
+    assert live == expected
+    assert np.array_equal(live.edge_users, expected.edge_users)
+    assert np.array_equal(live.edge_merchants, expected.edge_merchants)
+    assert np.array_equal(live.user_labels, expected.user_labels)
+    assert np.array_equal(live.merchant_labels, expected.merchant_labels)

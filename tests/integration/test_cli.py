@@ -318,3 +318,138 @@ class TestScenarioCommand:
 
         with pytest.raises(ScenarioError, match="unknown detectors"):
             main(["scenario", "--scenarios", "naive_block", "--detectors", "oracle"])
+
+
+class TestWindowedWatch:
+    def test_window_flag_round_trips_through_state(
+        self, stream_file, tmp_path, capsys
+    ):
+        state = tmp_path / "state.npz"
+        code = main(
+            _watch_args(stream_file, state, ["--iterations", "0", "--window", "3"])
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rolling window (last 3 batches)" in out
+        # the reloaded state still knows it is windowed — no flag needed
+        code = main(_watch_args(stream_file, state, ["--iterations", "0"]))
+        assert code == 0
+        assert "rolling window (last 3 batches)" in capsys.readouterr().out
+
+    def test_windowed_updates_expire_old_batches(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        assert main(
+            _watch_args(stream_file, state, ["--iterations", "0", "--window", "2"])
+        ) == 0
+        rng = np.random.default_rng(9)
+        for _ in range(3):
+            with stream_file.open("a") as fh:
+                for u, v in zip(rng.integers(0, 120, 10), rng.integers(0, 60, 10)):
+                    fh.write(f"{u}\t{v}\n")
+            capsys.readouterr()
+            assert main(_watch_args(stream_file, state, ["--iterations", "1"])) == 0
+        out = capsys.readouterr().out
+        # by the third batch, a 2-batch window must have expired something
+        assert "# update: +10 edges, expired" in out
+        assert ", expired 0," not in out
+
+    def test_horizon_flag_accepted(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        code = main(
+            _watch_args(
+                stream_file, state, ["--iterations", "0", "--horizon", "3600"]
+            )
+        )
+        assert code == 0
+        assert "rolling window (horizon 3600)" in capsys.readouterr().out
+
+
+class TestWindowedUpdate:
+    def _windowed_state(self, stream_file, tmp_path):
+        state = tmp_path / "state.npz"
+        assert main(
+            _watch_args(stream_file, state, ["--iterations", "0", "--window", "4"])
+        ) == 0
+        return state
+
+    def test_remove_retracts_live_edges(self, stream_file, tmp_path, capsys):
+        state = self._windowed_state(stream_file, tmp_path)
+        graph = uniform_bipartite(120, 60, 900, rng=0)
+        removals = tmp_path / "remove.tsv"
+        removals.write_text(
+            "".join(
+                f"{u}\t{m}\n"
+                for u, m in zip(
+                    graph.edge_users[:4].tolist(), graph.edge_merchants[:4].tolist()
+                )
+            )
+        )
+        capsys.readouterr()
+        code = main(["update", "--remove", str(removals), "--state", str(state)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# update: +0 edges, -4 retracted" in out
+        assert "# detected" in out
+
+    def test_mixed_append_and_remove(self, stream_file, tmp_path, capsys):
+        state = self._windowed_state(stream_file, tmp_path)
+        graph = uniform_bipartite(120, 60, 900, rng=0)
+        delta = tmp_path / "delta.tsv"
+        delta.write_text("3\t7\n5\t9\n")
+        removals = tmp_path / "remove.tsv"
+        removals.write_text(
+            f"{graph.edge_users[0]}\t{graph.edge_merchants[0]}\n"
+        )
+        capsys.readouterr()
+        code = main(
+            ["update", str(delta), "--remove", str(removals), "--state", str(state)]
+        )
+        assert code == 0
+        assert "# update: +2 edges, -1 retracted" in capsys.readouterr().out
+
+    def test_remove_on_append_only_state_is_refused(
+        self, stream_file, tmp_path, capsys
+    ):
+        state = tmp_path / "state.npz"
+        assert main(_watch_args(stream_file, state, ["--iterations", "0"])) == 0
+        removals = tmp_path / "remove.tsv"
+        removals.write_text("0\t0\n")
+        capsys.readouterr()
+        code = main(["update", "--remove", str(removals), "--state", str(state)])
+        assert code == 2
+        assert "windowed state" in capsys.readouterr().err
+
+    def test_no_delta_and_no_remove_is_refused(self, stream_file, tmp_path, capsys):
+        state = self._windowed_state(stream_file, tmp_path)
+        capsys.readouterr()
+        code = main(["update", "--state", str(state)])
+        assert code == 2
+        assert "nothing to apply" in capsys.readouterr().err
+
+
+class TestDriftCommand:
+    def test_drift_grid_runs_and_writes_artifacts(self, tmp_path, capsys):
+        code = main(
+            [
+                "scenario", "--drift",
+                "--scale", "0.12",
+                "--samples", "6",
+                "--ratio", "0.4",
+                "--stripe", "32",
+                "--window", "6",
+                "--outdir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift_grid" in out
+        for name in ("slow_ramp", "burst_dormant", "attack_cleanup"):
+            assert name in out
+        assert "latency" in out
+        assert (tmp_path / "drift_grid.json").exists()
+        assert (tmp_path / "drift_grid.csv").exists()
+
+    def test_drift_takes_one_intensity(self, capsys):
+        code = main(["scenario", "--drift", "--intensities", "1.0,2.0"])
+        assert code == 2
+        assert "single value" in capsys.readouterr().err

@@ -1,0 +1,87 @@
+"""Golden regression fixture for the temporal drift grid.
+
+One pinned drift grid runs end to end (temporal scenario generation →
+windowed/append-only incremental replay → per-step F1 sweep) and is
+compared exactly against the committed ``golden/drift_grid.json``. On top
+of the bitwise match, the structural claims the windowed layer exists for
+are asserted directly, so the fixture can never be silently re-baselined
+into a state that loses them:
+
+* slow-ramp campaigns are detected *late* (latency > 1) — the grooming
+  phase really does fly under the radar;
+* after the attack-then-cleanup retraction, the windowed replay's final
+  F1 decays below its peak while the append-only replay keeps flagging
+  the ghost block at peak.
+
+To intentionally re-baseline after a behaviour change::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/scenarios/test_golden_drift.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.scenarios import DriftGridConfig, run_drift_grid
+from repro.scenarios.drift import cleanup_decay_summary
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "drift_grid.json"
+
+#: pinned grid: window_batches exceeds every stream's batch count, so the
+#: windowed rows differ from append-only rows *only* through cleanup
+#: retraction — decay in the fixture is evidence-removal, never expiry
+GOLDEN_CONFIG = DriftGridConfig(
+    scale=0.25,
+    intensity=1.5,
+    seed=0,
+    n_samples=16,
+    sample_ratio=0.3,
+    stripe=64,
+    window_batches=12,
+    f1_target=0.6,
+    executor="serial",
+)
+
+_VOLATILE = ("wall_seconds",)
+
+
+def _golden_rows() -> list[dict]:
+    result = run_drift_grid(GOLDEN_CONFIG)
+    rows = [dict(row) for row in result.rows]
+    for row in rows:
+        for key in _VOLATILE:
+            row.pop(key, None)
+    return rows
+
+
+def test_drift_grid_matches_golden_fixture():
+    rows = _golden_rows()
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+    expected = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert rows == expected, (
+        "drift grid drifted from the golden fixture; if the behaviour "
+        "change is intentional, re-baseline with REGEN_GOLDEN=1 and review "
+        "the JSON diff"
+    )
+
+
+def test_slow_ramp_is_detected_late_but_detected():
+    rows = {(r["scenario"], r["mode"]): r for r in _golden_rows()}
+    for mode in ("append", "window"):
+        row = rows[("slow_ramp", mode)]
+        assert row["latency"] > 1, "the grooming phase must not be flagged instantly"
+        assert row["latency"] <= row["n_steps"], "the ramp must be caught eventually"
+
+
+def test_cleanup_decays_only_in_windowed_mode():
+    result = run_drift_grid(GOLDEN_CONFIG)
+    summary = cleanup_decay_summary(result)
+    # append-only never un-learns: the ghost block keeps its peak score
+    assert summary["append_final"] == summary["append_peak"] > 0.0
+    # the windowed replay honours the retraction and the score collapses
+    assert summary["window_peak"] == summary["append_peak"]
+    assert summary["window_final"] < summary["window_peak"]

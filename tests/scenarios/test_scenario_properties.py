@@ -49,10 +49,13 @@ def test_label_consistency(name, seed, intensity):
     # ground truth exists in the graph
     graph_users = set(result.dataset.graph.user_labels.tolist())
     assert fraud <= graph_users
-    # every fraud user makes at least one attack purchase
+    # every fraud user makes at least one attack purchase; mid-stream
+    # honest-noise (BACKGROUND) batches are not attacks and may involve
+    # anyone, so only ATTACK/WAVE/CLEANUP batches count
     attackers = set()
-    for batch in result.attack_batches:
-        attackers.update(batch.users.tolist())
+    for batch, kind in zip(result.attack_batches, result.batch_kinds[1:]):
+        if kind != BatchKind.BACKGROUND:
+            attackers.update(batch.users.tolist())
     assert fraud == attackers
 
 
@@ -77,7 +80,7 @@ def test_deterministic_under_fixed_seed(name, seed, intensity):
 def test_replay_stream_reproduces_graph_bitwise(name, seed, intensity):
     """Accumulating the ordered batches rebuilds the dataset graph exactly."""
     result = make_scenario(name).generate(intensity=intensity, scale=SCALE, seed=seed)
-    replayed = accumulate_batches(result.batches)
+    replayed = accumulate_batches(result.batches, result.batch_kinds)
     graph = result.dataset.graph
     assert replayed == graph  # structural equality: sizes, edges, weights, labels
     assert np.array_equal(replayed.edge_users, graph.edge_users)
@@ -95,7 +98,12 @@ def test_stream_shape(name, seed, intensity):
     assert len(result.batches) == len(result.batch_kinds) >= 2
     assert result.batches[0].n_edges > 0
     for batch, kind in zip(result.attack_batches, result.batch_kinds[1:]):
-        assert kind in (BatchKind.ATTACK, BatchKind.WAVE)
+        assert kind in (
+            BatchKind.ATTACK,
+            BatchKind.WAVE,
+            BatchKind.BACKGROUND,
+            BatchKind.CLEANUP,
+        )
         assert batch.n_edges > 0
     assert result.dataset.params["n_batches"] == len(result.batches)
 

@@ -17,6 +17,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 GUARD = REPO_ROOT / "benchmarks" / "check_regression.py"
 FAULT_GUARD = REPO_ROOT / "benchmarks" / "bench_fault_overhead.py"
+WINDOW_GUARD = REPO_ROOT / "benchmarks" / "bench_window.py"
 
 
 def test_peeling_perf_guard_fast():
@@ -46,5 +47,22 @@ def test_fault_layer_armed_idle_overhead_guard():
     )
     assert result.returncode == 0, (
         f"fault-overhead guard failed (rc={result.returncode})\n"
+        f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )
+
+
+def test_windowed_update_perf_guard():
+    # the windowed incremental layer must keep the 1% churn update >= 5x
+    # faster than a cold fit on the live window, stay bit-identical to it,
+    # and hold the stored rows inside the compaction bound while sliding
+    result = subprocess.run(
+        [sys.executable, str(WINDOW_GUARD), "--check"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"window guard failed (rc={result.returncode})\n"
         f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
     )
