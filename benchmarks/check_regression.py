@@ -2,7 +2,9 @@
 """Perf-regression guard for the peeling microbenchmark.
 
 Times one greedy peel per (engine, size) on the same Chung-Lu graphs as
-``bench_micro_peeling.py`` and compares against a committed baseline JSON
+``bench_micro_peeling.py``, plus one small batched-vs-per-member ensemble
+fit pair (the ``bench_native_ensemble.py`` workload at guard scale), and
+compares against a committed baseline JSON
 (``benchmarks/baselines/micro_peeling.json``). Any entry slower than
 ``--threshold`` (default 2x — generous enough for machine-to-machine noise,
 tight enough to catch an accidental de-vectorisation) fails the run.
@@ -43,6 +45,40 @@ from repro.parallel import time_callable  # noqa: E402
 DEFAULT_BASELINE = os.path.join(_HERE, "baselines", "micro_peeling.json")
 
 
+#: guard-scale batched ensemble: big enough that the kernel dominates,
+#: small enough for tier-1 (see tests/test_perf_guard.py)
+ENSEMBLE_CASE = {"n_users": 2_000, "n_merchants": 800, "n_edges": 8_000, "n_samples": 12}
+
+
+def measure_ensemble() -> dict[str, float]:
+    """Serial batched vs per-member fit seconds on the guard-scale ensemble."""
+    from repro.ensemble import EnsemFDet, EnsemFDetConfig
+    from repro.fdet import FdetConfig
+    from repro.fdet._native import native_available
+    from repro.sampling import RandomEdgeSampler
+
+    if not native_available():
+        return {}
+    graph = chung_lu_bipartite(
+        ENSEMBLE_CASE["n_users"], ENSEMBLE_CASE["n_merchants"], ENSEMBLE_CASE["n_edges"], rng=0
+    )
+    timings: dict[str, float] = {}
+    for label, native_batch in (("ensemble-batched", True), ("ensemble-permember", False)):
+        config = EnsemFDetConfig(
+            sampler=RandomEdgeSampler(0.3),
+            n_samples=ENSEMBLE_CASE["n_samples"],
+            fdet=FdetConfig(max_blocks=4),
+            executor="serial",
+            seed=0,
+            native_batch=native_batch,
+        )
+        best = min(
+            time_callable(EnsemFDet(config).fit, graph).seconds for _ in range(3)
+        )
+        timings[f"{label}@{ENSEMBLE_CASE['n_edges']}"] = best
+    return timings
+
+
 def measure(sizes: list[tuple[int, int, int]] | None = None) -> dict[str, float]:
     """Best-of-N peel seconds keyed by ``engine@n_edges``."""
     metric = LogWeightedDensity()
@@ -57,6 +93,7 @@ def measure(sizes: list[tuple[int, int, int]] | None = None) -> dict[str, float]
                 for _ in range(repeats)
             )
             timings[f"{engine}@{n_edges}"] = best
+    timings.update(measure_ensemble())
     return timings
 
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import DetectionError, QuorumError
 from ..fdet import FdetConfig, FdetResult
+from ..fdet import batched as _batched
 from ..graph import BipartiteGraph, LiveWindow
 from ..parallel import ExecutorMode, FaultTolerance, ReusablePool, Timer
 from ..sampling import RandomEdgeSampler, Sampler, StableEdgeSampler, resolve_rng
@@ -72,6 +73,12 @@ class EnsemFDetConfig:
         vote table. The default retries twice and accepts a half-strength
         ensemble; :meth:`FaultTolerance.strict` restores fail-fast
         semantics. Zero overhead while nothing fails.
+    native_batch:
+        Batched native backend: peel all eligible members of an attempt in
+        one multi-member kernel call and merge votes natively. ``None``
+        (the default) defers to ``REPRO_NATIVE_BATCH`` (on unless set to
+        0); ``False`` forces the per-member path. Results are bitwise
+        identical either way.
     """
 
     sampler: Sampler = field(default_factory=lambda: RandomEdgeSampler(0.1))
@@ -83,6 +90,7 @@ class EnsemFDetConfig:
     track_appearances: bool = False
     shared_memory: bool = True
     tolerance: FaultTolerance = field(default_factory=FaultTolerance)
+    native_batch: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_samples < 1:
@@ -254,9 +262,10 @@ class EnsemFDet:
                 track_members=track_members,
                 shared_memory=config.shared_memory,
                 tolerance=config.tolerance,
+                native_batch=config.native_batch,
             )
 
-        return self._assemble(run, sampling_timer.elapsed, detection_timer.elapsed)
+        return self._assemble(run, sampling_timer.elapsed, detection_timer.elapsed, graph)
 
     def fit_window(
         self, window: LiveWindow, track_members: bool | None = None
@@ -297,9 +306,12 @@ class EnsemFDet:
                 shared_memory=config.shared_memory,
                 tolerance=config.tolerance,
                 window=window.edge_window(),
+                native_batch=config.native_batch,
             )
 
-        return self._assemble(run, sampling_timer.elapsed, detection_timer.elapsed)
+        return self._assemble(
+            run, sampling_timer.elapsed, detection_timer.elapsed, window.graph
+        )
 
     def _resolve_track_members(self, track_members: bool | None) -> bool:
         if track_members is None:
@@ -312,14 +324,28 @@ class EnsemFDet:
         return track_members
 
     def _assemble(
-        self, run: MemberRun, sampling_seconds: float, detection_seconds: float
+        self,
+        run: MemberRun,
+        sampling_seconds: float,
+        detection_seconds: float,
+        graph: BipartiteGraph | None = None,
     ) -> EnsemFDetResult:
         config = self.config
         detections = _enforce_quorum(run, config)
-        table = VoteTable.from_detections(
-            [d.result.detected_users().tolist() for d in detections],
-            [d.result.detected_merchants().tolist() for d in detections],
-        )
+        table = None
+        if graph is not None and _batched.resolve_native_batch(config.native_batch):
+            counters = _batched.vote_counters(detections, graph)
+            if counters is not None:
+                table = VoteTable(
+                    n_samples=len(detections),
+                    user_votes=counters[0],
+                    merchant_votes=counters[1],
+                )
+        if table is None:
+            table = VoteTable.from_detections(
+                [d.result.detected_users().tolist() for d in detections],
+                [d.result.detected_merchants().tolist() for d in detections],
+            )
         if config.track_appearances:
             table.attach_appearances(
                 [d.sample_users for d in detections],

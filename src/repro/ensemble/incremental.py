@@ -350,6 +350,7 @@ class IncrementalEnsemFDet:
                 track_members=True,
                 shared_memory=config.shared_memory,
                 tolerance=config.tolerance,
+                native_batch=config.native_batch,
             )
 
         stale_indices = stale.tolist()
@@ -410,6 +411,7 @@ class IncrementalEnsemFDet:
                 shared_memory=config.shared_memory,
                 tolerance=config.tolerance,
                 window=live.edge_window(),
+                native_batch=config.native_batch,
             )
 
         stale_indices = stale.tolist()

@@ -41,12 +41,16 @@ from __future__ import annotations
 
 import time as _time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Sequence
+
+import numpy as np
 
 from ..errors import GraphError, InjectedFault, MemberTimeoutError, WorkerCrashError
 from ..faults import fault_point
 from ..fdet import Fdet, FdetConfig, FdetResult
+from ..fdet import batched as _batched
+from ..fdet._native import native_threads
 from ..graph import BipartiteGraph, GraphStore, StoreLayout, attached_store
 from ..parallel import (
     ExecutorMode,
@@ -83,11 +87,19 @@ class SampleDetection:
     ``sample_users`` / ``sample_merchants`` are only populated when the
     caller asked for member tracking — a fit at ``N=80`` would otherwise
     keep every sampled label array alive in the result for nothing.
+
+    ``detected_user_indices`` / ``detected_merchant_indices`` are parent
+    node-index arrays of the truncated detection, populated only by the
+    batched native backend; they feed the native vote merge and are
+    excluded from equality so detections compare identically across
+    backends.
     """
 
     result: FdetResult
     sample_users: tuple[int, ...] | None = None
     sample_merchants: tuple[int, ...] | None = None
+    detected_user_indices: np.ndarray | None = field(default=None, compare=False, repr=False)
+    detected_merchant_indices: np.ndarray | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -191,6 +203,34 @@ def _attach_worker(layout: StoreLayout) -> None:
     attached_store(layout)
 
 
+def _native_detection(nd: "_batched.NativeDetection", track_members: bool) -> SampleDetection:
+    """Wrap one batched-kernel output like :func:`_detection` would."""
+    return SampleDetection(
+        result=nd.result,
+        sample_users=tuple(nd.user_labels.tolist()) if track_members else None,
+        sample_merchants=tuple(nd.merchant_labels.tolist()) if track_members else None,
+        detected_user_indices=nd.detected_user_indices,
+        detected_merchant_indices=nd.detected_merchant_indices,
+    )
+
+
+def _batch_detect_many(
+    graph: BipartiteGraph,
+    batch_work: list[tuple[int, SamplePlan]],
+    config: FdetConfig,
+    window: EdgeWindow | None,
+    threads: int,
+) -> list["_batched.NativeDetection | None"]:
+    """One guarded kernel call; a refusal or error falls back per member."""
+    try:
+        native = _batched.detect_many(
+            graph, [plan for _, plan in batch_work], config, window, threads
+        )
+    except Exception:  # noqa: BLE001 - batch is an optimization, never a failure source
+        native = None
+    return native if native is not None else [None] * len(batch_work)
+
+
 def _detect_member_chunk(
     args: tuple[
         BipartiteGraph | GraphStore | StoreLayout,
@@ -199,22 +239,46 @@ def _detect_member_chunk(
         bool,
         int,
         EdgeWindow | None,
+        bool,
+        int,
     ]
 ) -> list[tuple[int, SampleDetection]]:
     """Run a chunk of ``(member_index, plan)`` pairs in whatever process.
 
-    The per-member injection point fires *inside* the worker, so chaos
+    The per-member injection points fire *inside* the worker, so chaos
     plans exercise the real fan-out path (chunk pickling, segment attach,
-    materialization) unmodified.
+    materialization) unmodified. With the batched native backend enabled,
+    eligible members of the chunk run through one multi-member kernel call
+    (``native_threads`` wide); ineligible plans, ineligible configs and
+    members whose kernel slot reports an allocation failure take the
+    per-member materialize-and-detect path, bitwise identically.
     """
-    source, config, members, track_members, attempt, window = args
+    source, config, members, track_members, attempt, window, native_batch, threads = args
     graph, window = _resolve_parent(source, window)
     fdet = Fdet(config)
+    use_batch = (
+        native_batch
+        and _batched.config_eligible(config)
+        and _batched.batch_kernels() is not None
+    )
     out: list[tuple[int, SampleDetection]] = []
+    batch_work: list[tuple[int, SamplePlan]] = []
     for index, plan in members:
         fault_point("member.detect", index=index, attempt=attempt)
+        if use_batch and _batched.plan_eligible(plan):
+            fault_point("native.peel", index=index, attempt=attempt)
+            batch_work.append((index, plan))
+            continue
         subgraph = materialize_plan(graph, plan, window)
         out.append((index, _detection(fdet, subgraph, track_members)))
+    if batch_work:
+        native = _batch_detect_many(graph, batch_work, config, window, threads)
+        for (index, plan), nd in zip(batch_work, native):
+            if nd is None:
+                subgraph = materialize_plan(graph, plan, window)
+                out.append((index, _detection(fdet, subgraph, track_members)))
+            else:
+                out.append((index, _native_detection(nd, track_members)))
     return out
 
 
@@ -271,19 +335,48 @@ def _run_serial(
     track_members: bool,
     attempt: int,
     window: EdgeWindow | None = None,
+    native_batch: bool = False,
 ) -> tuple[dict[int, SampleDetection], dict[int, tuple[str, BaseException]]]:
-    """In-parent attempt: no pool, no pickling, nothing left to degrade to."""
+    """In-parent attempt: no pool, no pickling, nothing left to degrade to.
+
+    With ``native_batch``, eligible members run through one multi-member
+    kernel call; each still gets its own ``member.detect`` / ``native.peel``
+    fault points (fired in work order, per-member failure isolation), and
+    anything the kernel cannot take falls back to the per-member path.
+    """
     fdet = Fdet(config)
     results: dict[int, SampleDetection] = {}
     failures: dict[int, tuple[str, BaseException]] = {}
+    use_batch = (
+        native_batch
+        and _batched.config_eligible(config)
+        and _batched.batch_kernels() is not None
+    )
+    batch_work: list[tuple[int, SamplePlan]] = []
     for index, plan in work:
         try:
             fault_point("member.detect", index=index, attempt=attempt)
+            if use_batch and _batched.plan_eligible(plan):
+                fault_point("native.peel", index=index, attempt=attempt)
+                batch_work.append((index, plan))
+                continue
             results[index] = _detection(
                 fdet, materialize_plan(graph, plan, window), track_members
             )
         except Exception as exc:  # noqa: BLE001 - recorded, retried, re-raised by strict callers
             failures[index] = (_classify(exc), exc)
+    if batch_work:
+        native = _batch_detect_many(graph, batch_work, config, window, native_threads(1))
+        for (index, plan), nd in zip(batch_work, native):
+            if nd is not None:
+                results[index] = _native_detection(nd, track_members)
+                continue
+            try:
+                results[index] = _detection(
+                    fdet, materialize_plan(graph, plan, window), track_members
+                )
+            except Exception as exc:  # noqa: BLE001 - same contract as above
+                failures[index] = (_classify(exc), exc)
     return results, failures
 
 
@@ -337,6 +430,7 @@ def _run_pooled(
     attempt: int,
     tolerance: FaultTolerance,
     window: EdgeWindow | None = None,
+    native_batch: bool = False,
 ) -> tuple[dict[int, SampleDetection], dict[int, tuple[str, BaseException]], bool]:
     """One thread/process attempt. Returns ``(results, failures, shm_used)``.
 
@@ -382,8 +476,11 @@ def _run_pooled(
             # threads share memory: per-member tasks give the finest retry
             # granularity at no pickling cost
             chunks = [[member] for member in work]
+        # oversubscription guard: workers x in-kernel threads <= cores
+        threads = native_threads(workers)
         args = [
-            (source, config, chunk, track_members, attempt, plan_window) for chunk in chunks
+            (source, config, chunk, track_members, attempt, plan_window, native_batch, threads)
+            for chunk in chunks
         ]
 
         if borrowed_pool:
@@ -444,8 +541,16 @@ def run_members(
     shared_memory: bool = True,
     tolerance: FaultTolerance | None = None,
     window: EdgeWindow | None = None,
+    native_batch: bool | None = None,
 ) -> MemberRun:
     """Fault-tolerant fan-out: every plan either detects or fails *typed*.
+
+    ``native_batch`` selects the batched native backend (eligible members
+    of an attempt peel through one multi-member kernel call on every
+    execution backend); ``None`` defers to ``REPRO_NATIVE_BATCH`` (default
+    on). The switch composes with the degradation ladder: a worker-crash
+    round additionally disables batching for the remaining retries, the
+    way shm failures disable the shared segment.
 
     With ``window`` set, ``graph`` is the full stored graph of a rolling
     window and every member materializes through the liveness overlay
@@ -474,6 +579,7 @@ def run_members(
     attempts_of: dict[int, int] = {}
     retry_log: list[dict] = []
     use_shm = shared_memory
+    use_batch = _batched.resolve_native_batch(native_batch)
 
     for attempt in range(tolerance.max_retries + 1):
         if not pending:
@@ -494,7 +600,7 @@ def run_members(
             in_parent = effective <= 1 or len(work) == 1
         if in_parent:
             results, failures = _run_serial(
-                graph, work, config, track_members, attempt, window
+                graph, work, config, track_members, attempt, window, use_batch
             )
             shm_used = False
         else:
@@ -511,6 +617,7 @@ def run_members(
                 attempt,
                 tolerance,
                 window,
+                use_batch,
             )
 
         for index, detection in results.items():
@@ -521,6 +628,7 @@ def run_members(
                 "attempt": attempt,
                 "backend": ExecutorMode.SERIAL if in_parent else backend,
                 "shared_memory": shm_used,
+                "native_batch": bool(use_batch),
                 "members": [int(i) for i in pending],
                 "failed": [int(i) for i in failed],
                 "kinds": {str(i): failures[i][0] for i in failed},
@@ -530,6 +638,10 @@ def run_members(
         if any(kind == FAIL_SHM for kind, _ in failures.values()):
             # the segment transport itself is suspect — pickled store next
             use_shm = False
+        if use_batch and any(kind == FAIL_CRASH for kind, _ in failures.values()):
+            # a dead worker may mean the native batch itself crashed —
+            # retries degrade to the per-member path, like shm degrades
+            use_batch = False
         pending = failed
 
     failures_out = tuple(
@@ -593,6 +705,7 @@ def detect_on_plans(
     shared_memory: bool = True,
     tolerance: FaultTolerance | None = None,
     window: EdgeWindow | None = None,
+    native_batch: bool | None = None,
 ) -> list[SampleDetection]:
     """Materialize every plan against ``graph`` and run FDET on it.
 
@@ -626,6 +739,9 @@ def detect_on_plans(
         platform refuses the segment.
     tolerance:
         Retry/timeout/degradation policy; defaults to strict (no retries).
+    native_batch:
+        Batched native backend switch (``None`` = ``REPRO_NATIVE_BATCH``,
+        default on); see :func:`run_members`.
     """
     run = run_members(
         graph,
@@ -639,6 +755,7 @@ def detect_on_plans(
         shared_memory=shared_memory,
         tolerance=tolerance or FaultTolerance.strict(),
         window=window,
+        native_batch=native_batch,
     )
     _raise_first_failure(run)
     return [detection for detection in run.detections if detection is not None]

@@ -17,6 +17,10 @@ Registered injection points
 ``member.detect``
     One ensemble member's FDET run, in whatever process executes it.
     Context: ``index`` (global member index), ``attempt`` (retry round).
+``native.peel``
+    One member's enrolment into the batched native peel kernel (fires in
+    the worker, before the batch runs). Context: ``index`` (global member
+    index), ``attempt`` (retry round).
 ``shm.attach``
     Worker-side attach to the shared graph segment. Context: ``attempt``
     when reached through the fan-out, plus ``segment``.

@@ -78,7 +78,14 @@ class PeelContext:
         Half-edge order within each node's span is preserved, which keeps
         the masked peel bitwise identical to peeling a freshly compacted
         graph (whose stable argsort yields the same relative order).
+
+        When the mask keeps every edge (common for high sampling ratios and
+        for FDET's first block) the context's own arrays are returned as
+        trusted read-only views — no gather, no copy. Callers must treat
+        the returned arrays as immutable either way.
         """
+        if edge_alive.all():
+            return self.indptr, self.flat_other, self.flat_edge
         keep = edge_alive[self.flat_edge]
         counts = np.bincount(self._flat_owner[keep], minlength=self.n_nodes)
         indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
