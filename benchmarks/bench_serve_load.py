@@ -1,0 +1,258 @@
+"""Bench: scoring-server load — ingest throughput and query latency.
+
+Boots a real :class:`~repro.serve.ScoringServer` (asyncio HTTP, in a
+thread) over a windowed detector at guard scale and measures the two
+numbers the serving layer promises:
+
+* **ingest throughput** — streaming edge batches through ``POST /ingest``
+  (JSON over loopback, snapshot swap included) must sustain at least
+  **1,000 edges/second**;
+* **query latency** — ``GET /score/{u}`` and ``GET /top?k=K`` answered
+  from the immutable snapshot must keep **p99 under 50 ms**, measured
+  over a keep-alive connection while the server is warm.
+
+Run standalone to (re)record the committed baseline::
+
+    python benchmarks/bench_serve_load.py --update   # rewrite baselines/serve_load.json
+    python benchmarks/bench_serve_load.py --check    # measure and gate (perf guard)
+    python benchmarks/bench_serve_load.py            # measure and print
+
+``check_regression.py --fast`` additionally compares the flattened
+guard timings (seconds per 1k ingested edges, query p99 seconds) against
+the committed baseline, so a silent serialisation or snapshot-capture
+regression fails tier-1.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if __name__ == "__main__":  # allow standalone runs without PYTHONPATH
+    sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+
+from repro.datasets import chung_lu_bipartite
+from repro.ensemble import EnsemFDetConfig, IncrementalEnsemFDet
+from repro.fdet import FdetConfig
+from repro.graph import GraphAccumulator, WindowConfig
+from repro.sampling import StableEdgeSampler
+from repro.serve import DetectionService, start_server_in_thread
+
+BASELINE = os.path.join(_HERE, "baselines", "serve_load.json")
+
+#: guard scale — the bench_window world, streamed over HTTP
+GUARD = {
+    "n_users": 6_000,
+    "n_merchants": 2_400,
+    "background_edges": 40_960,
+    "batch_edges": 2_048,
+    "n_batches": 10,
+    "n_queries": 400,
+    "top_k": 50,
+    "window_batches": 20,
+}
+
+MIN_EDGES_PER_SECOND = 1_000.0
+MAX_P99_SECONDS = 0.050
+
+#: latency floor for the ratio guard: loopback p99s of a few ms are all
+#: "fast enough", and their run-to-run ratios are pure noise — only a
+#: drift above this floor is worth comparing against the baseline
+GUARD_FLOOR_SECONDS = 0.005
+
+
+def build_config() -> EnsemFDetConfig:
+    return EnsemFDetConfig(
+        sampler=StableEdgeSampler(0.1, stripe=1_024),
+        n_samples=40,
+        fdet=FdetConfig(max_blocks=15),
+        executor="serial",
+        seed=7,
+    )
+
+
+def _boot(case: dict):
+    pool = chung_lu_bipartite(
+        case["n_users"],
+        case["n_merchants"],
+        case["background_edges"] + case["n_batches"] * case["batch_edges"],
+        rng=0,
+    )
+    users = pool.user_labels[pool.edge_users]
+    merchants = pool.merchant_labels[pool.edge_merchants]
+    n_bg = case["background_edges"]
+    seed_acc = GraphAccumulator()
+    seed_acc.append(users[:n_bg], merchants[:n_bg])
+    detector = IncrementalEnsemFDet(
+        build_config(), window=WindowConfig(max_batches=case["window_batches"])
+    )
+    detector.fit(seed_acc.graph(), timestamp=0.0)
+    handle = start_server_in_thread(DetectionService(detector))
+    batches = []
+    for k in range(case["n_batches"]):
+        lo = n_bg + k * case["batch_edges"]
+        hi = lo + case["batch_edges"]
+        batches.append((users[lo:hi], merchants[lo:hi]))
+    return handle, batches
+
+
+def _request(connection: http.client.HTTPConnection, method: str, path: str, payload=None):
+    body = json.dumps(payload).encode("utf-8") if payload is not None else None
+    headers = {"Content-Type": "application/json"} if body else {}
+    connection.request(method, path, body=body, headers=headers)
+    response = connection.getresponse()
+    data = response.read()
+    if response.status != 200:
+        raise RuntimeError(f"{method} {path} -> {response.status}: {data[:200]!r}")
+    return json.loads(data)
+
+
+def measure(case: dict = GUARD) -> dict:
+    handle, batches = _boot(case)
+    connection = http.client.HTTPConnection(handle.host, handle.port, timeout=120)
+    try:
+        # ---- ingest phase: stream every batch through POST /ingest ----
+        started = time.perf_counter()
+        for k, (users, merchants) in enumerate(batches, start=1):
+            _request(
+                connection,
+                "POST",
+                "/ingest",
+                {
+                    "users": users.tolist(),
+                    "merchants": merchants.tolist(),
+                    "timestamp": float(k),
+                },
+            )
+        ingest_seconds = time.perf_counter() - started
+        edges_streamed = case["n_batches"] * case["batch_edges"]
+
+        # ---- query phase: warm keep-alive reads from the snapshot ----
+        snapshot = handle.server.service.snapshot
+        rng = np.random.default_rng(1)
+        labels = rng.choice(snapshot.user_labels, size=case["n_queries"])
+        score_latencies, top_latencies = [], []
+        for label in labels.tolist():
+            started = time.perf_counter()
+            _request(connection, "GET", f"/score/{label}")
+            score_latencies.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            _request(connection, "GET", f"/top?k={case['top_k']}")
+            top_latencies.append(time.perf_counter() - started)
+
+        stats = handle.server.service.stats()
+        return {
+            "ingest": {
+                "n_batches": case["n_batches"],
+                "batch_edges": case["batch_edges"],
+                "edges_streamed": edges_streamed,
+                "edges_expired": stats.edges_expired,
+                "seconds": round(ingest_seconds, 4),
+                "edges_per_second": round(edges_streamed / max(ingest_seconds, 1e-9)),
+                "seconds_per_1k_edges": round(
+                    ingest_seconds / (edges_streamed / 1_000.0), 6
+                ),
+                "final_snapshot_version": handle.server.service.snapshot.version,
+            },
+            "query": {
+                "n_queries": case["n_queries"],
+                "top_k": case["top_k"],
+                "score_p50_ms": _percentile_ms(score_latencies, 50),
+                "score_p99_ms": _percentile_ms(score_latencies, 99),
+                "top_p50_ms": _percentile_ms(top_latencies, 50),
+                "top_p99_ms": _percentile_ms(top_latencies, 99),
+            },
+        }
+    finally:
+        connection.close()
+        handle.stop()
+
+
+def _percentile_ms(latencies: list[float], q: int) -> float:
+    return round(float(np.percentile(np.asarray(latencies), q)) * 1_000.0, 3)
+
+
+def guard_timings(stats: dict) -> dict[str, float]:
+    """Flatten stats into lower-is-better seconds for the ratio guard.
+
+    Sub-floor latencies are clamped to :data:`GUARD_FLOOR_SECONDS` on both
+    sides of the comparison, so millisecond jitter never trips the guard —
+    only a real drift out of the "loopback-fast" regime does.
+    """
+    edges = stats["ingest"]["edges_streamed"]
+    return {
+        f"serve-ingest-per-1k@{edges}": max(
+            stats["ingest"]["seconds_per_1k_edges"], GUARD_FLOOR_SECONDS
+        ),
+        f"serve-score-p99@{edges}": max(
+            stats["query"]["score_p99_ms"] / 1_000.0, GUARD_FLOOR_SECONDS
+        ),
+        f"serve-top-p99@{edges}": max(
+            stats["query"]["top_p99_ms"] / 1_000.0, GUARD_FLOOR_SECONDS
+        ),
+    }
+
+
+def _gate(stats: dict) -> list[str]:
+    """The absolute floors both the pytest hook and ``--check`` enforce."""
+    failures = []
+    if stats["ingest"]["edges_per_second"] < MIN_EDGES_PER_SECOND:
+        failures.append(
+            f"ingest sustained {stats['ingest']['edges_per_second']} edges/s, "
+            f"below the {MIN_EDGES_PER_SECOND:.0f}/s floor"
+        )
+    for endpoint in ("score", "top"):
+        p99 = stats["query"][f"{endpoint}_p99_ms"] / 1_000.0
+        if p99 >= MAX_P99_SECONDS:
+            failures.append(
+                f"/{endpoint} p99 {p99 * 1000:.1f}ms breaches the "
+                f"{MAX_P99_SECONDS * 1000:.0f}ms bound"
+            )
+    if stats["ingest"]["final_snapshot_version"] != stats["ingest"]["n_batches"] + 1:
+        failures.append("not every ingested batch produced a snapshot swap")
+    return failures
+
+
+def test_serve_load_guard():
+    stats = measure()
+    print()
+    for section, values in stats.items():
+        print(f"  [{section}]")
+        for key, value in values.items():
+            print(f"    {key}: {value}")
+    assert not _gate(stats), _gate(stats)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true", help="rewrite the committed baseline")
+    parser.add_argument("--check", action="store_true", help="exit non-zero on any gate failure")
+    args = parser.parse_args(argv)
+
+    stats = measure()
+    print(json.dumps(stats, indent=2))
+    if args.update:
+        os.makedirs(os.path.dirname(BASELINE), exist_ok=True)
+        payload = {"meta": {"cpu_count": os.cpu_count()}, **stats}
+        with open(BASELINE, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {BASELINE}")
+    failures = _gate(stats)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

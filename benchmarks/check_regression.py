@@ -3,9 +3,11 @@
 
 Times one greedy peel per (engine, size) on the same Chung-Lu graphs as
 ``bench_micro_peeling.py``, plus one small batched-vs-per-member ensemble
-fit pair (the ``bench_native_ensemble.py`` workload at guard scale), and
-compares against a committed baseline JSON
-(``benchmarks/baselines/micro_peeling.json``). Any entry slower than
+fit pair (the ``bench_native_ensemble.py`` workload at guard scale), plus
+the scoring-server load case from ``bench_serve_load.py`` (HTTP ingest
+seconds-per-1k-edges and query p99, compared against
+``baselines/serve_load.json``), and compares against a committed baseline
+JSON (``benchmarks/baselines/micro_peeling.json``). Any entry slower than
 ``--threshold`` (default 2x — generous enough for machine-to-machine noise,
 tight enough to catch an accidental de-vectorisation) fails the run.
 
@@ -36,6 +38,11 @@ sys.path.insert(0, os.path.join(_HERE, "..", "src"))
 sys.path.insert(0, _HERE)
 
 from bench_micro_peeling import SIZES  # noqa: E402 - single source of truth for sizes
+from bench_serve_load import (  # noqa: E402 - guard-scale serving load case
+    BASELINE as SERVE_BASELINE,
+    guard_timings as serve_guard_timings,
+    measure as measure_serve,
+)
 
 from repro.datasets import chung_lu_bipartite  # noqa: E402
 from repro.fdet import LogWeightedDensity, PeelEngine, greedy_peel  # noqa: E402
@@ -94,6 +101,7 @@ def measure(sizes: list[tuple[int, int, int]] | None = None) -> dict[str, float]
             )
             timings[f"{engine}@{n_edges}"] = best
     timings.update(measure_ensemble())
+    timings.update(serve_guard_timings(measure_serve()))
     return timings
 
 
@@ -119,7 +127,13 @@ def main(argv: list[str] | None = None) -> int:
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
         payload = {
             "meta": {"cpu_count": os.cpu_count(), "native_kernel": native_available()},
-            "timings": timings,
+            # serve-* cases live in baselines/serve_load.json, rewritten by
+            # ``bench_serve_load.py --update`` — never duplicated here
+            "timings": {
+                case: value
+                for case, value in timings.items()
+                if not case.startswith("serve-")
+            },
         }
         with open(args.baseline, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -133,6 +147,14 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.baseline) as handle:
         payload = json.load(handle)
     baseline = payload["timings"]
+    if os.path.exists(SERVE_BASELINE):
+        with open(SERVE_BASELINE) as handle:
+            serve_payload = json.load(handle)
+        baseline.update(
+            serve_guard_timings(
+                {k: v for k, v in serve_payload.items() if k != "meta"}
+            )
+        )
 
     # a native-kernel baseline is meaningless against a python-fallback run
     # (and vice versa): only the reference engine is comparable then

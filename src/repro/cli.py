@@ -5,6 +5,7 @@ Subcommands::
     ensemfdet detect <edges.tsv> [--detector SPEC] [--ratio S] [--samples N] [...]
     ensemfdet detectors [--list]
     ensemfdet watch <edges.tsv> --state <state.npz> [--window N] [--horizon H] [...]
+    ensemfdet serve <edges.tsv> --state <state.npz> [--host H] [--port P] [...]
     ensemfdet update [delta.tsv] --state <state.npz> [--remove removals.tsv] [...]
     ensemfdet dataset <outdir> [--index I] [--scale X] [--seed K]
     ensemfdet stats <edges.tsv>
@@ -20,7 +21,10 @@ the ensemble members a new batch of edges invalidates; ``--window N`` /
 ``--horizon H`` switch the cold fit to a rolling window (old batches
 expire instead of accumulating forever). ``update`` applies one explicit
 delta file and/or a ``--remove`` deletion file to the same state. Both
-print the refreshed detection in the ``detect`` format. ``scenario``
+print the refreshed detection in the ``detect`` format. ``serve`` exposes
+the same warm state as a long-running HTTP scoring service (ingest edge
+deltas over ``POST /ingest``, read scores from ``GET /score``/``/top``/
+``/blocks`` without blocking behind a re-fit; see :mod:`repro.serve`). ``scenario``
 sweeps the adversarial-attack robustness grid (detector × attack shape ×
 intensity) over any set of registry specs; ``scenario --drift`` replays
 the temporal scenarios batch-by-batch against windowed and append-only
@@ -30,8 +34,11 @@ detectors and reports detection latency. Artifacts go to ``--outdir``.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import dataclasses
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -297,8 +304,14 @@ def _describe_window(detector: IncrementalEnsemFDet) -> str:
     return f"rolling window ({', '.join(parts)})"
 
 
-def _cmd_watch(args: argparse.Namespace) -> int:
-    state_path = Path(args.state)
+def _bootstrap_state(
+    args: argparse.Namespace, state_path: Path
+) -> tuple[IncrementalEnsemFDet, int]:
+    """Load saved state or cold-fit from the edge file (watch/serve shared).
+
+    Returns the warm detector and the number of source-file rows already
+    folded into it (the resume offset for incremental polling).
+    """
     if _state_exists(state_path):
         detector = _load_state(state_path)
         # the state may hold more edges than this file contributed (e.g.
@@ -316,68 +329,180 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             "# note: ensemble/sampling/window flags on the command line are ignored — "
             "the stored configuration governs; delete the state file to refit"
         )
+        return detector, consumed
+    users, merchants, weights = _read_rows(args.edges)
+    accumulator = GraphAccumulator()
+    accumulator.append(users, merchants, weights)
+    graph = accumulator.graph()
+    config = EnsemFDetConfig(
+        sampler=StableEdgeSampler(args.ratio, stripe=args.stripe),
+        n_samples=args.samples,
+        fdet=FdetConfig(max_blocks=args.max_blocks, engine=args.engine),
+        executor=args.executor,
+        seed=args.seed,
+        shared_memory=not args.no_shm,
+        tolerance=FaultTolerance(
+            member_timeout=args.member_timeout,
+            max_retries=args.max_retries,
+            min_quorum=args.min_quorum,
+        ),
+    )
+    window = _window_config(args)
+    detector = IncrementalEnsemFDet(config, window=window)
+    if window is not None and window.horizon is not None:
+        # horizon windows expire by clock; stamp batch 0 with real time
+        detector.fit(graph, timestamp=time.time())
     else:
-        users, merchants, weights = _read_rows(args.edges)
-        accumulator = GraphAccumulator()
-        accumulator.append(users, merchants, weights)
-        graph = accumulator.graph()
-        config = EnsemFDetConfig(
-            sampler=StableEdgeSampler(args.ratio, stripe=args.stripe),
-            n_samples=args.samples,
-            fdet=FdetConfig(max_blocks=args.max_blocks, engine=args.engine),
-            executor=args.executor,
-            seed=args.seed,
-            shared_memory=not args.no_shm,
-            tolerance=FaultTolerance(
-                member_timeout=args.member_timeout,
-                max_retries=args.max_retries,
-                min_quorum=args.min_quorum,
-            ),
-        )
-        window = _window_config(args)
-        detector = IncrementalEnsemFDet(config, window=window)
-        if window is not None and window.horizon is not None:
-            # horizon windows expire by clock; stamp batch 0 with real time
-            detector.fit(graph, timestamp=time.time())
-        else:
-            detector.fit(graph)
-        consumed = graph.n_edges
-        detector.meta["watch_rows"] = consumed
-        detector.save(state_path)
-        print(
-            f"# cold fit on {graph.n_edges} edges ({_describe_window(detector)}); "
-            f"state saved to {state_path}"
-        )
+        detector.fit(graph)
+    consumed = graph.n_edges
+    detector.meta["watch_rows"] = consumed
+    detector.save(state_path)
+    print(
+        f"# cold fit on {graph.n_edges} edges ({_describe_window(detector)}); "
+        f"state saved to {state_path}"
+    )
+    return detector, consumed
 
-    threshold = _default_threshold(args.threshold, detector.config.n_samples)
-    _print_detection(detector.detect(threshold), f"# EnsemFDet[warm] T={threshold}")
 
-    rounds = 0
-    while args.iterations < 0 or rounds < args.iterations:
-        rounds += 1
-        if args.interval > 0:
-            time.sleep(args.interval)
-        users, merchants, weights = _read_rows(args.edges, skip=consumed)
-        if not users.size:
-            continue
-        window = detector.window_config
-        if window is not None and window.horizon is not None:
-            report = detector.update(users, merchants, weights, timestamp=time.time())
-        else:
-            # batch-count windows tick in ordinal time (the accumulator's
-            # default); append-only detectors reject timestamps outright
-            report = detector.update(users, merchants, weights)
-        _report_degradation(report)
-        consumed += report.n_new_edges
-        detector.meta["watch_rows"] = consumed
-        detector.save(state_path)
-        expired = f", expired {report.n_expired_edges}" if window is not None else ""
-        print(
-            f"# update: +{report.n_new_edges} edges{expired}, refreshed "
-            f"{report.n_refreshed}/{report.n_samples} samples in "
-            f"{report.total_seconds:.3f}s"
-        )
+class _ShutdownGuard:
+    """Turn SIGINT/SIGTERM into a flag instead of a mid-commit exception.
+
+    The ``watch`` poll loop used to sit in a bare ``time.sleep`` — a
+    SIGINT there raised ``KeyboardInterrupt`` (and a SIGTERM killed the
+    process outright) anywhere between an update and its state commit,
+    losing the delta. The guard installs handlers that only set an event;
+    the loop finishes its current round, commits state, and exits 0.
+
+    Handlers can only be installed from the main thread (``signal``'s
+    rule); elsewhere — e.g. in-process tests driving ``main()`` from a
+    worker thread — the guard degrades to a plain never-set flag.
+    Previous handlers are restored on exit so embedding callers keep
+    their own signal behaviour.
+    """
+
+    def __init__(self) -> None:
+        self._stop = threading.Event()
+        self._previous: dict[int, object] = {}
+
+    def __enter__(self) -> "_ShutdownGuard":
+        if threading.current_thread() is threading.main_thread():
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._previous[sig] = signal.signal(sig, self._handle)
+                except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                    pass
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for sig, previous in self._previous.items():
+            signal.signal(sig, previous)
+        self._previous.clear()
+
+    def _handle(self, signum, frame) -> None:
+        self._stop.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
+
+    def wait(self, seconds: float) -> bool:
+        """Sleep up to ``seconds``; ``True`` when shutdown was requested."""
+        return self._stop.wait(seconds)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    state_path = Path(args.state)
+    # the guard covers the bootstrap too: a signal during the cold fit
+    # still drains into a clean commit instead of a traceback
+    with _ShutdownGuard() as guard:
+        detector, consumed = _bootstrap_state(args, state_path)
+
+        threshold = _default_threshold(args.threshold, detector.config.n_samples)
         _print_detection(detector.detect(threshold), f"# EnsemFDet[warm] T={threshold}")
+
+        rounds = 0
+        while not guard.stop_requested and (
+            args.iterations < 0 or rounds < args.iterations
+        ):
+            rounds += 1
+            if args.interval > 0 and guard.wait(args.interval):
+                break
+            if guard.stop_requested:
+                break
+            users, merchants, weights = _read_rows(args.edges, skip=consumed)
+            if not users.size:
+                continue
+            window = detector.window_config
+            if window is not None and window.horizon is not None:
+                report = detector.update(users, merchants, weights, timestamp=time.time())
+            else:
+                # batch-count windows tick in ordinal time (the accumulator's
+                # default); append-only detectors reject timestamps outright
+                report = detector.update(users, merchants, weights)
+            _report_degradation(report)
+            consumed += report.n_new_edges
+            detector.meta["watch_rows"] = consumed
+            detector.save(state_path)
+            expired = f", expired {report.n_expired_edges}" if window is not None else ""
+            print(
+                f"# update: +{report.n_new_edges} edges{expired}, refreshed "
+                f"{report.n_refreshed}/{report.n_samples} samples in "
+                f"{report.total_seconds:.3f}s"
+            )
+            _print_detection(
+                detector.detect(threshold), f"# EnsemFDet[warm] T={threshold}"
+            )
+        if guard.stop_requested:
+            detector.meta["watch_rows"] = consumed
+            detector.save(state_path)
+            print(f"# interrupted: state committed to {state_path}", file=sys.stderr)
+    return 0
+
+
+async def _serve_until_signal(server, ready_message: str) -> None:
+    """Run the scoring server until SIGINT/SIGTERM (or forever without them)."""
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        await server.start()
+        # the bound port on stdout is the readiness handshake for
+        # subprocess tests and the serve-smoke CI job (--port 0 support)
+        print(ready_message.format(host=server.host, port=server.port), flush=True)
+        await stop.wait()
+        await server.stop()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DetectionService, ScoringServer
+
+    state_path = Path(args.state)
+    detector, consumed = _bootstrap_state(args, state_path)
+    detector.meta["watch_rows"] = consumed
+    threshold = _default_threshold(args.threshold, detector.config.n_samples)
+    service = DetectionService(
+        detector, state_path=state_path, default_threshold=threshold
+    )
+    server = ScoringServer(service, host=args.host, port=args.port)
+    try:
+        asyncio.run(
+            _serve_until_signal(server, "# serving on http://{host}:{port}")
+        )
+    finally:
+        service.close(save=not args.no_save_on_exit)
+    print(
+        f"# shutdown: state {'committed to ' + str(state_path) if not args.no_save_on_exit else 'not saved (--no-save-on-exit)'}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -591,27 +716,80 @@ def main(argv: list[str] | None = None) -> int:
     )
     detectors.set_defaults(func=_cmd_detectors)
 
+    def _add_state_fit_flags(command: argparse.ArgumentParser) -> None:
+        """The flags shared by every warm-state front end (watch, serve)."""
+        command.add_argument("edges", help="edge-list TSV the state is fitted from")
+        command.add_argument(
+            "--state", required=True, help="detection-state .npz (created if missing)"
+        )
+        command.add_argument("--ratio", type=float, default=0.1, help="sample ratio S")
+        command.add_argument("--samples", type=int, default=40, help="ensemble size N")
+        command.add_argument(
+            "--threshold", type=int, default=None, help="voting threshold T"
+        )
+        command.add_argument(
+            "--stripe", type=int, default=1024, help="edges per sampling stripe"
+        )
+        command.add_argument("--max-blocks", type=int, default=15)
+        command.add_argument(
+            "--engine",
+            choices=PeelEngine.ALL,
+            default=PeelEngine.DEFAULT,
+            help="peeling backend",
+        )
+        command.add_argument(
+            "--executor", choices=("serial", "thread", "process"), default="process"
+        )
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--no-shm",
+            action="store_true",
+            help="disable the shared-memory graph segment for process workers",
+        )
+        command.add_argument(
+            "--member-timeout",
+            type=float,
+            default=None,
+            help="wall-clock budget per ensemble member in seconds "
+            "(cold fit only; stored in the state)",
+        )
+        command.add_argument(
+            "--max-retries",
+            type=int,
+            default=2,
+            help="retry rounds for failed ensemble members (cold fit only)",
+        )
+        command.add_argument(
+            "--min-quorum",
+            type=float,
+            default=0.5,
+            help="minimum surviving ensemble fraction before a fit/update "
+            "raises instead of degrading (cold fit only)",
+        )
+        command.add_argument(
+            "--window",
+            type=int,
+            default=None,
+            metavar="N",
+            help="keep only the last N appended batches live; older edges "
+            "expire and their votes are forgotten (cold fit only; stored in "
+            "the state and honoured by every later update)",
+        )
+        command.add_argument(
+            "--horizon",
+            type=float,
+            default=None,
+            metavar="H",
+            help="expire edges whose batch timestamp falls more than H behind "
+            "the newest batch (wall-clock seconds here; combinable with "
+            "--window, cold fit only)",
+        )
+
     watch = sub.add_parser(
         "watch",
         help="keep warm detection state and incrementally re-detect as the edge file grows",
     )
-    watch.add_argument("edges", help="edge-list TSV being appended to")
-    watch.add_argument("--state", required=True, help="detection-state .npz (created if missing)")
-    watch.add_argument("--ratio", type=float, default=0.1, help="sample ratio S")
-    watch.add_argument("--samples", type=int, default=40, help="ensemble size N")
-    watch.add_argument("--threshold", type=int, default=None, help="voting threshold T")
-    watch.add_argument("--stripe", type=int, default=1024, help="edges per sampling stripe")
-    watch.add_argument("--max-blocks", type=int, default=15)
-    watch.add_argument(
-        "--engine", choices=PeelEngine.ALL, default=PeelEngine.DEFAULT, help="peeling backend"
-    )
-    watch.add_argument("--executor", choices=("serial", "thread", "process"), default="process")
-    watch.add_argument("--seed", type=int, default=0)
-    watch.add_argument(
-        "--no-shm",
-        action="store_true",
-        help="disable the shared-memory graph segment for process workers",
-    )
+    _add_state_fit_flags(watch)
     watch.add_argument(
         "--interval", type=float, default=2.0, help="seconds between polls of the edge file"
     )
@@ -621,45 +799,34 @@ def main(argv: list[str] | None = None) -> int:
         default=-1,
         help="poll rounds before exiting (-1 = watch forever, 0 = fit/print once)",
     )
-    watch.add_argument(
-        "--member-timeout",
-        type=float,
-        default=None,
-        help="wall-clock budget per ensemble member in seconds "
-        "(cold fit only; stored in the state)",
-    )
-    watch.add_argument(
-        "--max-retries",
-        type=int,
-        default=2,
-        help="retry rounds for failed ensemble members (cold fit only)",
-    )
-    watch.add_argument(
-        "--min-quorum",
-        type=float,
-        default=0.5,
-        help="minimum surviving ensemble fraction before a fit/update "
-        "raises instead of degrading (cold fit only)",
-    )
-    watch.add_argument(
-        "--window",
-        type=int,
-        default=None,
-        metavar="N",
-        help="keep only the last N appended batches live; older edges "
-        "expire and their votes are forgotten (cold fit only; stored in "
-        "the state and honoured by every later update)",
-    )
-    watch.add_argument(
-        "--horizon",
-        type=float,
-        default=None,
-        metavar="H",
-        help="expire edges whose batch timestamp falls more than H behind "
-        "the newest batch (wall-clock seconds here; combinable with "
-        "--window, cold fit only)",
-    )
     watch.set_defaults(func=_cmd_watch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the warm detection state over HTTP (scores, ingest, snapshots)",
+        description="Long-running scoring service over the same DetectionState "
+        "the watch/update commands maintain. Edge deltas arrive as POST "
+        "/ingest requests (JSON; deletions and timestamps on windowed "
+        "state); GET /score/{user}, /top, /blocks, /health and /stats "
+        "answer from an immutable snapshot of the vote table, so reads "
+        "never block behind a re-fit; POST /snapshot persists the state "
+        "through the crash-safe commit path. SIGINT/SIGTERM drain the "
+        "update queue, commit state, and exit 0.",
+    )
+    _add_state_fit_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (0 = ephemeral; the bound port is printed on stdout)",
+    )
+    serve.add_argument(
+        "--no-save-on-exit",
+        action="store_true",
+        help="skip the final state commit on shutdown",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     update = sub.add_parser(
         "update", help="apply one edge-delta file to saved detection state"

@@ -98,18 +98,21 @@ class Detection:
         """User labels from most to least suspicious.
 
         The explicit ``ranked_users`` when the detector provided one;
-        otherwise all users ordered by ``(-score, label)`` — the label
-        tie-break keeps equal-score rankings deterministic.
+        otherwise all users ordered by ``(-score, node index)`` — the
+        :class:`~repro.baselines.DegreeDetector` convention. Breaking ties
+        by local node index (not label value) keeps equal-score rankings
+        deterministic *and* stable under label renumbering, and matches
+        the serving layer's precomputed ranking bit for bit.
         """
         if self.ranked_users is not None:
             return self.ranked_users
-        order = np.lexsort((self.user_labels, -self.user_scores))
+        order = np.lexsort((np.arange(self.user_labels.size), -self.user_scores))
         return self.user_labels[order]
 
     def top_users(self, n: int) -> np.ndarray:
-        """The ``n`` most suspicious user labels."""
+        """The ``n`` most suspicious user labels (``n`` clamped to ``[0, n_users]``)."""
         ranking = self.ranking()
-        return ranking[: min(n, ranking.size)]
+        return ranking[: max(0, min(int(n), ranking.size))]
 
     def score_of(self, label: int) -> float:
         """Suspiciousness score of one user label (0.0 if unknown)."""

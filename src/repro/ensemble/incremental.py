@@ -226,6 +226,11 @@ class IncrementalEnsemFDet:
         if self._table is None:
             raise DetectionError("call fit() (or load()) before using the detector")
 
+    @property
+    def stale_members(self) -> tuple[int, ...]:
+        """Members currently serving stale votes (degraded mode), sorted."""
+        return tuple(sorted(self._degraded))
+
     def window(self) -> LiveWindow:
         """Snapshot of the rolling window (windowed detectors only)."""
         self._require_fitted()

@@ -43,6 +43,9 @@ import numpy as np
 from ..errors import DetectionError, StateChecksumError, StateError
 from ..faults import fault_point
 from ..graph import BipartiteGraph
+from ..logging_utils import get_logger
+
+logger = get_logger("state")
 
 __all__ = [
     "DetectionResult",
@@ -341,12 +344,14 @@ def _read_state(path: Path) -> DetectionState:
 def load_detection_state(path: str | os.PathLike[str]) -> DetectionState:
     """Load a state archive written by :func:`save_detection_state`.
 
-    Any corruption — a truncated file, a flipped byte anywhere in the
-    payload (caught by the zip container's CRC or the v2 per-array
-    manifest), unreadable JSON — raises
-    :class:`~repro.errors.StateChecksumError`; an unsupported format
-    version raises :class:`~repro.errors.StateError`. A missing file
-    raises ``FileNotFoundError`` (it is not corruption).
+    Any corruption — a zero-byte or truncated file (the classic ENOSPC
+    leftovers: ``zipfile.BadZipFile``, ``EOFError``, ``zlib.error``), a
+    flipped byte anywhere in the payload (caught by the zip container's
+    CRC or the v2 per-array manifest), unreadable JSON — raises
+    :class:`~repro.errors.StateChecksumError`; raw decoder exceptions
+    never escape. An unsupported format version raises
+    :class:`~repro.errors.StateError`. A missing file raises
+    ``FileNotFoundError`` (it is not corruption).
     """
     path = _npz_path(path)
     try:
@@ -380,10 +385,19 @@ def load_detection_state_with_recovery(
     except FileNotFoundError:
         if not backup.exists():
             raise
+        logger.warning(
+            "state archive %s is missing; recovering from backup %s", path, backup
+        )
         return load_detection_state(backup), str(backup)
     except (StateError, StateChecksumError) as primary_error:
         if not backup.exists():
             raise
+        logger.warning(
+            "state archive %s failed to load (%s); recovering from backup %s",
+            path,
+            primary_error,
+            backup,
+        )
         try:
             return load_detection_state(backup), str(backup)
         except (StateError, StateChecksumError, FileNotFoundError) as backup_error:

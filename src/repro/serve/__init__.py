@@ -1,0 +1,50 @@
+"""Detection-as-a-service: a long-running scoring server.
+
+The CLI ``watch`` loop answers "is user X suspicious right now" only at
+its poll cadence, single-threaded, blocking every read behind a re-fit.
+This package turns the warm :class:`~repro.ensemble.IncrementalEnsemFDet`
+state into a **service**: a long-lived process that ingests edge deltas
+and serves scores concurrently.
+
+Three layers, importable separately:
+
+:class:`ScoreSnapshot` (:mod:`repro.serve.snapshot`)
+    An immutable point-in-time view of the live vote table: per-user
+    scores, a precomputed deterministic ranking, and the MVA detection at
+    any threshold. Snapshots are cheap value objects — readers hold one
+    and can never observe a half-merged table.
+
+:class:`DetectionService` (:mod:`repro.serve.service`)
+    The concurrency core. All mutations (ingest deltas, state snapshots
+    to disk) are serialised through one worker thread; every completed
+    update atomically publishes a fresh :class:`ScoreSnapshot`, which is
+    what every read answers from. Reader/writer isolation is therefore
+    wait-free for readers: a ``GET`` never blocks on a re-fit.
+
+:class:`ScoringServer` (:mod:`repro.serve.http`)
+    A stdlib-only asyncio HTTP/1.1 front end::
+
+        POST /ingest     append a timestamped edge batch (+ deletions)
+        GET  /score/{u}  one user's live score
+        GET  /top?k=K    the K most suspicious users
+        GET  /blocks     the MVA detection at a threshold
+        GET  /health     liveness + degradation state
+        GET  /stats      window/quorum/throughput counters
+        POST /snapshot   persist DetectionState (crash-safe commit path)
+
+Wired into the CLI as ``ensemfdet serve``. The fault layer's injection
+points (``state.write``, ``member.detect``) fire in-process, so chaos
+tests can drive failures through the HTTP path unmodified.
+"""
+
+from .http import ScoringServer, start_server_in_thread
+from .service import DetectionService, ServiceStats
+from .snapshot import ScoreSnapshot
+
+__all__ = [
+    "DetectionService",
+    "ScoreSnapshot",
+    "ScoringServer",
+    "ServiceStats",
+    "start_server_in_thread",
+]

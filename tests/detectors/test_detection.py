@@ -66,6 +66,60 @@ class TestDetectionShape:
         assert detections["degree"].score_of(10**9) == 0.0
 
 
+class TestTopKDeterminism:
+    """Regression: ``--top K`` must clamp K and break ties deterministically.
+
+    ``top_users`` used to slice with an unclamped negative K (returning the
+    ranking minus its tail), and the score-fallback ranking broke ties by
+    label value — out of step with the DegreeDetector / serving-layer
+    ``(-score, node index)`` convention.
+    """
+
+    def _detection(self, labels, scores):
+        return Detection(
+            spec="test",
+            user_labels=np.asarray(labels, dtype=np.int64),
+            user_scores=np.asarray(scores, dtype=np.float64),
+        )
+
+    def test_k_zero_is_empty(self, detections):
+        for detection in detections.values():
+            assert detection.top_users(0).size == 0
+
+    def test_k_equal_n_is_full_ranking(self, detections):
+        for detection in detections.values():
+            full = detection.ranking()
+            np.testing.assert_array_equal(detection.top_users(full.size), full)
+
+    def test_k_beyond_n_is_clamped(self, detections):
+        for detection in detections.values():
+            full = detection.ranking()
+            np.testing.assert_array_equal(detection.top_users(full.size + 1000), full)
+
+    def test_negative_k_is_empty(self, detections):
+        for detection in detections.values():
+            assert detection.top_users(-3).size == 0
+
+    def test_all_ties_rank_by_node_index(self):
+        # labels deliberately unsorted: index order, not label order, wins
+        detection = self._detection([9, 2, 7, 4], [1.0, 1.0, 1.0, 1.0])
+        np.testing.assert_array_equal(detection.ranking(), [9, 2, 7, 4])
+        np.testing.assert_array_equal(detection.top_users(2), [9, 2])
+
+    def test_partial_ties_break_by_node_index_within_score(self):
+        detection = self._detection([5, 3, 8, 1], [2.0, 5.0, 2.0, 5.0])
+        np.testing.assert_array_equal(detection.ranking(), [3, 1, 5, 8])
+
+    def test_matches_degree_detector_convention(self, dataset):
+        from repro.baselines import DegreeDetector
+
+        detection = make_detector("degree", CONTEXT).fit(dataset.graph)
+        n = dataset.graph.n_users
+        # the baseline returns local indices; the adapter returns labels
+        expected = dataset.graph.user_labels[DegreeDetector().top_users(dataset.graph, n)]
+        np.testing.assert_array_equal(detection.top_users(n), expected)
+
+
 class TestEnsembleAdapter:
     def test_threshold_sweep_matches_majority_vote(self, dataset, detections):
         """The single-pass sweep must reproduce majority_vote bit for bit."""

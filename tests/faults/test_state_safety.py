@@ -173,6 +173,79 @@ class TestCorruptionDetection:
         assert _states_equal(loaded, reference)
 
 
+class TestDiskFullLeftovers:
+    """Regression: ENOSPC-shaped files must fail typed, then recover.
+
+    A disk filling up mid-write (or a kill between open and write) leaves
+    a zero-byte, truncated, or garbage ``.npz``. None of the underlying
+    decoders' exceptions (``zipfile.BadZipFile``, ``EOFError``,
+    ``zlib.error``) may escape raw — every shape surfaces as
+    :class:`StateChecksumError`, and the recovery ladder must still fall
+    back to the ``.bak`` snapshot exactly as for a flipped byte.
+    """
+
+    def _primary_with_backup(self, tmp_path):
+        state = _make_state(seed=11)
+        target = tmp_path / "state.npz"
+        save_detection_state(state, target)
+        save_detection_state(state, target)  # rotates a valid .bak
+        return state, target
+
+    def _spoil(self, target, shape: str) -> None:
+        if shape == "zero_byte":
+            target.write_bytes(b"")
+        elif shape == "header_only":
+            # the zip magic survives but everything else is gone
+            target.write_bytes(target.read_bytes()[:4])
+        elif shape == "half":
+            target.write_bytes(target.read_bytes()[: target.stat().st_size // 2])
+        elif shape == "no_central_directory":
+            # valid local headers, truncated before the central directory:
+            # the shape a torn rename or lost final flush leaves behind
+            target.write_bytes(target.read_bytes()[:-64])
+        elif shape == "garbage":
+            target.write_bytes(b"\x00" * 2048)
+        else:  # pragma: no cover - guard against typos in parametrize
+            raise AssertionError(shape)
+
+    SHAPES = ("zero_byte", "header_only", "half", "no_central_directory", "garbage")
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_spoiled_primary_is_typed_checksum_error(self, tmp_path, shape):
+        state = _make_state(seed=11)
+        target = tmp_path / "state.npz"
+        save_detection_state(state, target)
+        self._spoil(target, shape)
+        with pytest.raises(StateChecksumError, match="unreadable|checksum"):
+            load_detection_state(target)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_spoiled_primary_recovers_from_backup(self, tmp_path, shape, caplog):
+        state, target = self._primary_with_backup(tmp_path)
+        self._spoil(target, shape)
+        with caplog.at_level("WARNING", logger="repro.state"):
+            loaded, recovered_from = load_detection_state_with_recovery(target)
+        assert recovered_from == str(state_backup_path(target))
+        assert _states_equal(loaded, state)
+        assert any("recovering from backup" in rec.message for rec in caplog.records)
+
+    def test_spoiled_primary_and_backup_raise_together(self, tmp_path):
+        _, target = self._primary_with_backup(tmp_path)
+        self._spoil(target, "zero_byte")
+        self._spoil(state_backup_path(target), "half")
+        with pytest.raises(StateChecksumError, match="cannot be recovered"):
+            load_detection_state_with_recovery(target)
+
+    def test_missing_primary_with_backup_warns_and_recovers(self, tmp_path, caplog):
+        state, target = self._primary_with_backup(tmp_path)
+        target.unlink()
+        with caplog.at_level("WARNING", logger="repro.state"):
+            loaded, recovered_from = load_detection_state_with_recovery(target)
+        assert recovered_from == str(state_backup_path(target))
+        assert _states_equal(loaded, state)
+        assert any("is missing" in rec.message for rec in caplog.records)
+
+
 class TestFormatVersions:
     def _rewrite(self, target, version: int, drop_checksums: bool) -> None:
         with np.load(target) as data:

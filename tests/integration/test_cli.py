@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+import repro
 from repro.cli import main
 from repro.datasets import load_dataset, uniform_bipartite
 from repro.errors import AggregationError
@@ -254,6 +262,91 @@ class TestUpdateCommand:
         code = main(_watch_args(stream_file, state, ["--iterations", "1"]))
         assert code == 0
         assert "# update: +5 edges" in capsys.readouterr().out
+
+
+class TestWatchGracefulShutdown:
+    """Regression: a signal in the poll gap must not lose state.
+
+    ``watch`` used to sit in a bare ``time.sleep`` between polls — SIGINT
+    there raised KeyboardInterrupt (traceback, non-zero exit) and SIGTERM
+    killed the process outright, in both cases skipping the state commit.
+    The loop now converts both signals into a clean drain-commit-exit.
+    """
+
+    def test_sigint_exits_zero_and_commits_state(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        assert main(_watch_args(stream_file, state, ["--iterations", "0"])) == 0
+        capsys.readouterr()
+        # interrupt an infinite watch mid-sleep; the handler is installed
+        # before the loop starts, so a 1s timer cannot outrun it
+        timer = threading.Timer(1.0, os.kill, (os.getpid(), signal.SIGINT))
+        timer.start()
+        try:
+            code = main(
+                _watch_args(
+                    stream_file, state,
+                    ["--iterations", "-1", "--interval", "0.2"],
+                )
+            )
+        finally:
+            timer.cancel()
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "# interrupted: state committed" in captured.err
+        # the committed state is loadable and still append-consistent
+        from repro.ensemble import IncrementalEnsemFDet
+
+        detector, recovered_from = IncrementalEnsemFDet.load_with_recovery(state)
+        assert recovered_from is None
+        assert detector.meta["watch_rows"] == detector.graph.n_edges
+
+    def test_previous_handlers_restored(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        assert main(_watch_args(stream_file, state, ["--iterations", "0"])) == 0
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
+
+    @pytest.mark.parametrize("sig", [signal.SIGINT, signal.SIGTERM])
+    def test_signal_to_subprocess_commits_and_exits_zero(
+        self, stream_file, tmp_path, sig
+    ):
+        state = tmp_path / "state.npz"
+        assert main(_watch_args(stream_file, state, ["--iterations", "0"])) == 0
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_dir), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro.cli",
+                *_watch_args(
+                    stream_file, state, ["--iterations", "-1", "--interval", "0.2"]
+                ),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            # wait for the reload banner so the loop (and its handlers)
+            # is definitely up before signalling
+            line = ""
+            while "# loaded state" not in line:
+                line = proc.stdout.readline()
+                assert line, "watch exited before becoming ready"
+            proc.send_signal(sig)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, err
+        assert "# interrupted: state committed" in err
+        assert "Traceback" not in err
 
 
 class TestScenarioCommand:

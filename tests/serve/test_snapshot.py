@@ -1,0 +1,119 @@
+"""ScoreSnapshot: capture parity, deterministic ranking, read semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import uniform_bipartite
+from repro.ensemble import EnsemFDetConfig, IncrementalEnsemFDet
+from repro.errors import DetectionError
+from repro.fdet import FdetConfig
+from repro.graph import WindowConfig
+from repro.sampling import StableEdgeSampler
+from repro.serve import ScoreSnapshot
+
+
+def make_config(**overrides):
+    defaults = dict(
+        sampler=StableEdgeSampler(0.3, stripe=64),
+        n_samples=8,
+        fdet=FdetConfig(max_blocks=8),
+        executor="serial",
+        seed=23,
+    )
+    defaults.update(overrides)
+    return EnsemFDetConfig(**defaults)
+
+
+@pytest.fixture
+def detector():
+    graph = uniform_bipartite(150, 70, 1400, rng=3)
+    det = IncrementalEnsemFDet(make_config(), window=WindowConfig(max_batches=4))
+    det.fit(graph, timestamp=0.0)
+    return det
+
+
+@pytest.fixture
+def snapshot(detector):
+    return ScoreSnapshot.capture(detector, version=1)
+
+
+class TestCapture:
+    def test_votes_match_live_table(self, detector, snapshot):
+        assert snapshot.user_votes == dict(detector.vote_table.user_votes)
+        assert snapshot.merchant_votes == dict(detector.vote_table.merchant_votes)
+
+    def test_votes_are_copies(self, detector, snapshot):
+        detector.vote_table.user_votes[999999] = 42
+        assert 999999 not in snapshot.user_votes
+
+    def test_scores_parallel_to_all_users(self, detector, snapshot):
+        assert snapshot.user_labels.size == detector.graph.n_users
+        assert snapshot.user_scores.shape == snapshot.user_labels.shape
+        for label, score in zip(
+            snapshot.user_labels.tolist(), snapshot.user_scores.tolist()
+        ):
+            assert score == detector.vote_table.user_votes.get(label, 0)
+
+    def test_graph_shape_recorded(self, detector, snapshot):
+        assert snapshot.n_users == detector.graph.n_users
+        assert snapshot.n_merchants == detector.graph.n_merchants
+        assert snapshot.n_edges == detector.graph.n_edges
+        assert snapshot.watermark == detector.window().watermark
+
+    def test_append_only_detector_has_no_watermark(self):
+        graph = uniform_bipartite(60, 30, 400, rng=1)
+        det = IncrementalEnsemFDet(make_config())
+        det.fit(graph)
+        assert ScoreSnapshot.capture(det, version=1).watermark is None
+
+    def test_default_threshold_is_quarter_of_n(self, detector):
+        assert ScoreSnapshot.capture(detector, version=1).default_threshold == 2
+        assert (
+            ScoreSnapshot.capture(detector, version=1, default_threshold=5)
+            .default_threshold
+            == 5
+        )
+
+
+class TestRanking:
+    def test_ranking_orders_by_score_then_index(self, snapshot):
+        scores = snapshot.ranked_scores
+        assert np.all(scores[:-1] >= scores[1:])
+        # within a tied score run, node index (== position in user_labels)
+        # must be ascending
+        index_of = {label: i for i, label in enumerate(snapshot.user_labels.tolist())}
+        ranked = snapshot.ranked_users.tolist()
+        for a, b, sa, sb in zip(ranked, ranked[1:], scores, scores[1:]):
+            if sa == sb:
+                assert index_of[a] < index_of[b]
+
+    def test_top_clamps_k(self, snapshot):
+        n = snapshot.ranked_users.size
+        assert snapshot.top(0) == []
+        assert snapshot.top(-5) == []
+        assert len(snapshot.top(n)) == n
+        assert len(snapshot.top(n + 100)) == n
+        assert snapshot.top(3) == snapshot.top(n)[:3]
+
+
+class TestReads:
+    def test_score_of_unknown_user_is_zero(self, snapshot):
+        assert snapshot.score_of(10**9) == 0.0
+        assert not snapshot.knows_user(10**9)
+
+    def test_detection_matches_detector_detect(self, detector, snapshot):
+        for threshold in range(1, 9):
+            users, merchants = snapshot.detection(threshold)
+            reference = detector.detect(threshold)
+            assert users == reference.user_labels.tolist()
+            assert merchants == reference.merchant_labels.tolist()
+
+    def test_detection_rejects_threshold_below_one(self, snapshot):
+        with pytest.raises(DetectionError, match="threshold"):
+            snapshot.detection(0)
+
+    def test_fingerprint_equality(self, detector, snapshot):
+        again = ScoreSnapshot.capture(detector, version=2)
+        assert snapshot.vote_fingerprint() == again.vote_fingerprint()

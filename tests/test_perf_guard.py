@@ -10,6 +10,7 @@ millisecond-scale cases.
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -66,3 +67,17 @@ def test_windowed_update_perf_guard():
         f"window guard failed (rc={result.returncode})\n"
         f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
     )
+
+
+def test_serve_load_baseline_meets_contract():
+    # the committed serving baseline must itself satisfy the serve
+    # contract: >= 1k edges/s HTTP ingest and sub-50ms query p99. The live
+    # measurement is ratio-gated by check_regression --fast above and
+    # floor-gated by ``bench_serve_load.py --check`` in the serve-smoke CI
+    # job, so a drifting host shows up there, not as a stale JSON here.
+    baseline = json.loads(
+        (REPO_ROOT / "benchmarks" / "baselines" / "serve_load.json").read_text()
+    )
+    assert baseline["ingest"]["edges_per_second"] >= 1_000
+    assert baseline["query"]["score_p99_ms"] < 50.0
+    assert baseline["query"]["top_p99_ms"] < 50.0
