@@ -6,8 +6,11 @@ Times one greedy peel per (engine, size) on the same Chung-Lu graphs as
 fit pair (the ``bench_native_ensemble.py`` workload at guard scale), plus
 the scoring-server load case from ``bench_serve_load.py`` (HTTP ingest
 seconds-per-1k-edges and query p99, compared against
-``baselines/serve_load.json``), and compares against a committed baseline
-JSON (``benchmarks/baselines/micro_peeling.json``). Any entry slower than
+``baselines/serve_load.json``), plus the out-of-core guard case from
+``bench_scale.py`` (store write + wide-resident vs sharded-mmap fit
+seconds, compared against ``baselines/scale.json``; the measurement
+itself asserts the two fits stay bitwise identical), and compares against
+a committed baseline JSON (``benchmarks/baselines/micro_peeling.json``). Any entry slower than
 ``--threshold`` (default 2x — generous enough for machine-to-machine noise,
 tight enough to catch an accidental de-vectorisation) fails the run.
 
@@ -38,6 +41,11 @@ sys.path.insert(0, os.path.join(_HERE, "..", "src"))
 sys.path.insert(0, _HERE)
 
 from bench_micro_peeling import SIZES  # noqa: E402 - single source of truth for sizes
+from bench_scale import (  # noqa: E402 - guard-scale out-of-core case
+    BASELINE as SCALE_BASELINE,
+    guard_timings as scale_guard_timings,
+    measure as measure_scale,
+)
 from bench_serve_load import (  # noqa: E402 - guard-scale serving load case
     BASELINE as SERVE_BASELINE,
     guard_timings as serve_guard_timings,
@@ -102,6 +110,9 @@ def measure(sizes: list[tuple[int, int, int]] | None = None) -> dict[str, float]
             timings[f"{engine}@{n_edges}"] = best
     timings.update(measure_ensemble())
     timings.update(serve_guard_timings(measure_serve()))
+    # parity gate rides along: measure_scale raises if the sharded+mmap
+    # vote table ever diverges from the wide resident fit
+    timings.update(scale_guard_timings(measure_scale()))
     return timings
 
 
@@ -127,12 +138,13 @@ def main(argv: list[str] | None = None) -> int:
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
         payload = {
             "meta": {"cpu_count": os.cpu_count(), "native_kernel": native_available()},
-            # serve-* cases live in baselines/serve_load.json, rewritten by
-            # ``bench_serve_load.py --update`` — never duplicated here
+            # serve-*/scale-* cases live in baselines/serve_load.json and
+            # baselines/scale.json, rewritten by their own --update runs —
+            # never duplicated here
             "timings": {
                 case: value
                 for case, value in timings.items()
-                if not case.startswith("serve-")
+                if not case.startswith(("serve-", "scale-"))
             },
         }
         with open(args.baseline, "w") as handle:
@@ -155,6 +167,10 @@ def main(argv: list[str] | None = None) -> int:
                 {k: v for k, v in serve_payload.items() if k != "meta"}
             )
         )
+    if os.path.exists(SCALE_BASELINE):
+        with open(SCALE_BASELINE) as handle:
+            scale_payload = json.load(handle)
+        baseline.update(scale_payload.get("guard", {}))
 
     # a native-kernel baseline is meaningless against a python-fallback run
     # (and vice versa): only the reference engine is comparable then

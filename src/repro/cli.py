@@ -158,6 +158,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         executor=args.executor,
         seed=args.seed,
         shared_memory=not args.no_shm,
+        shards=args.shards,
+        mmap=args.mmap,
     )
     result = EnsemFDet(config).fit(graph)
     threshold = _default_threshold(args.threshold, args.samples)
@@ -341,6 +343,8 @@ def _bootstrap_state(
         executor=args.executor,
         seed=args.seed,
         shared_memory=not args.no_shm,
+        shards=args.shards,
+        mmap=args.mmap,
         tolerance=FaultTolerance(
             member_timeout=args.member_timeout,
             max_retries=args.max_retries,
@@ -703,6 +707,19 @@ def main(argv: list[str] | None = None) -> int:
         help="ship the graph store to process workers by pickle instead of "
         "publishing one shared-memory segment",
     )
+    detect.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run the ensemble in K stripe shards, each over a store holding "
+        "only the edges its members sample (vote table is bitwise-identical)",
+    )
+    detect.add_argument(
+        "--mmap",
+        action="store_true",
+        help="spill graph stores to mmap-backed files so workers read columns "
+        "lazily instead of copying them (out-of-core operation)",
+    )
     detect.set_defaults(func=_cmd_detect)
 
     detectors = sub.add_parser(
@@ -745,6 +762,18 @@ def main(argv: list[str] | None = None) -> int:
             "--no-shm",
             action="store_true",
             help="disable the shared-memory graph segment for process workers",
+        )
+        command.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="cold-fit the ensemble in K stripe shards (stored in the state)",
+        )
+        command.add_argument(
+            "--mmap",
+            action="store_true",
+            help="spill graph stores to mmap-backed files for process workers "
+            "(stored in the state; updates reuse it)",
         )
         command.add_argument(
             "--member-timeout",

@@ -11,6 +11,7 @@ from .jd_like import (
 )
 from .loaders import load_dataset, save_dataset, toy_dataset
 from .stats import dataset_row, datasets_table
+from .stream import chung_lu_edge_chunks, uniform_edge_chunks, write_store
 from .synthetic import chung_lu_bipartite, powerlaw_weights, uniform_bipartite
 
 __all__ = [
@@ -31,4 +32,7 @@ __all__ = [
     "chung_lu_bipartite",
     "uniform_bipartite",
     "powerlaw_weights",
+    "chung_lu_edge_chunks",
+    "uniform_edge_chunks",
+    "write_store",
 ]

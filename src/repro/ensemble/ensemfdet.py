@@ -28,11 +28,12 @@ import numpy as np
 from ..errors import DetectionError, QuorumError
 from ..fdet import FdetConfig, FdetResult
 from ..fdet import batched as _batched
-from ..graph import BipartiteGraph, LiveWindow
+from ..graph import BipartiteGraph, GraphStore, LiveWindow
 from ..parallel import ExecutorMode, FaultTolerance, ReusablePool, Timer
 from ..sampling import RandomEdgeSampler, Sampler, StableEdgeSampler, resolve_rng
 from .results import DetectionResult
 from .runner import MemberFailure, MemberRun, SampleDetection, _raise_first_failure, run_members
+from .sharding import ShardPlan, merge_shard_votes, plan_shards, run_sharded
 from .voting import VoteTable, majority_vote
 
 __all__ = ["EnsemFDetConfig", "EnsemFDetResult", "EnsemFDet"]
@@ -79,6 +80,20 @@ class EnsemFDetConfig:
         (the default) defers to ``REPRO_NATIVE_BATCH`` (on unless set to
         0); ``False`` forces the per-member path. Results are bitwise
         identical either way.
+    shards:
+        Stripe-shard the fit: members are split into this many contiguous
+        groups, each run against a shard store holding only the edges its
+        members sample, and the per-shard vote tables are merged — bitwise
+        identical to the unsharded fit (see
+        :mod:`repro.ensemble.sharding`). ``1`` (the default) disables
+        sharding. Requires edge-list-reducible plans ("edges"/"stripes").
+    mmap:
+        Out-of-core transport: ship the parent (or each shard store) to
+        process workers as an mmap-able store file instead of a shared
+        segment, and — when sharding — keep at most one shard's columns
+        resident in the parent at a time. A fit on a store opened with
+        :meth:`~repro.graph.GraphStore.open` uses the file transport
+        implicitly.
     """
 
     sampler: Sampler = field(default_factory=lambda: RandomEdgeSampler(0.1))
@@ -91,10 +106,14 @@ class EnsemFDetConfig:
     shared_memory: bool = True
     tolerance: FaultTolerance = field(default_factory=FaultTolerance)
     native_batch: bool | None = None
+    shards: int = 1
+    mmap: bool = False
 
     def __post_init__(self) -> None:
         if self.n_samples < 1:
             raise DetectionError(f"n_samples must be >= 1, got {self.n_samples}")
+        if self.shards < 1:
+            raise DetectionError(f"shards must be >= 1, got {self.shards}")
 
     @property
     def repetition_rate(self) -> float:
@@ -235,7 +254,7 @@ class EnsemFDet:
         self.pool = pool
 
     def fit(
-        self, graph: BipartiteGraph, track_members: bool | None = None
+        self, graph: BipartiteGraph | GraphStore, track_members: bool | None = None
     ) -> EnsemFDetResult:
         """Plan, materialize + detect in parallel, and tally votes.
 
@@ -243,29 +262,55 @@ class EnsemFDet:
         returned detections; by default they are kept only when
         ``track_appearances`` needs them (the incremental layer passes
         ``True`` because its persistent state stores sample membership).
+
+        ``graph`` may also be a :class:`~repro.graph.GraphStore` — in
+        particular one opened from an mmap-backed store file — in which
+        case process fan-outs ship its path+layout descriptor instead of
+        graph bytes. A *windowed* store (liveness columns present)
+        requires the :class:`~repro.sampling.StableEdgeSampler`: plans are
+        drawn over the append-id space so membership matches the
+        equivalent :meth:`fit_window` call bitwise.
         """
         config = self.config
         rng = resolve_rng(config.seed)
         track_members = self._resolve_track_members(track_members)
 
+        source: BipartiteGraph | GraphStore = graph
+        vote_graph = graph.to_graph() if isinstance(graph, GraphStore) else graph
+        window = graph.edge_window() if isinstance(graph, GraphStore) else None
+
         with Timer() as sampling_timer:
-            plans = config.sampler.plan_many(graph, config.n_samples, rng)
+            if window is not None:
+                sampler = config.sampler
+                if not isinstance(sampler, StableEdgeSampler):
+                    raise DetectionError(
+                        "fitting a windowed store requires StableEdgeSampler "
+                        "(stripe membership is keyed by append id); compact "
+                        "the window into a live graph for other samplers"
+                    )
+                # the id space in play: stripe membership is prefix-stable,
+                # so planning over max-id+1 matches any larger watermark
+                watermark = (
+                    int(np.asarray(window.edge_ids).max()) + 1
+                    if window.edge_ids.size
+                    else 0
+                )
+                key = sampler.derive_key(rng)
+                inclusion = sampler.stripe_inclusion(
+                    sampler.n_stripes(watermark), config.n_samples, key
+                )
+                plans = [
+                    sampler.stripe_plan(inclusion[i]) for i in range(config.n_samples)
+                ]
+            else:
+                plans = config.sampler.plan_many(vote_graph, config.n_samples, rng)
 
         with Timer() as detection_timer:
-            run = run_members(
-                graph,
-                plans,
-                config.fdet,
-                mode=config.executor,
-                n_workers=config.n_workers,
-                pool=self.pool,
-                track_members=track_members,
-                shared_memory=config.shared_memory,
-                tolerance=config.tolerance,
-                native_batch=config.native_batch,
-            )
+            run, shard_plan = self._run(source, plans, track_members, window=None)
 
-        return self._assemble(run, sampling_timer.elapsed, detection_timer.elapsed, graph)
+        return self._assemble(
+            run, sampling_timer.elapsed, detection_timer.elapsed, vote_graph, shard_plan
+        )
 
     def fit_window(
         self, window: LiveWindow, track_members: bool | None = None
@@ -295,23 +340,56 @@ class EnsemFDet:
             plans = [sampler.stripe_plan(inclusion[i]) for i in range(config.n_samples)]
 
         with Timer() as detection_timer:
-            run = run_members(
-                window.graph,
+            run, shard_plan = self._run(
+                window.graph, plans, track_members, window=window.edge_window()
+            )
+
+        return self._assemble(
+            run, sampling_timer.elapsed, detection_timer.elapsed, window.graph, shard_plan
+        )
+
+    def _run(
+        self,
+        source: BipartiteGraph | GraphStore,
+        plans: list,
+        track_members: bool,
+        window,
+    ) -> tuple[MemberRun, ShardPlan | None]:
+        """The detection stage: sharded when ``config.shards > 1``."""
+        config = self.config
+        if config.shards > 1:
+            shard_plan = plan_shards(config.n_samples, config.shards)
+            run = run_sharded(
+                source,
                 plans,
                 config.fdet,
+                shard_plan,
                 mode=config.executor,
                 n_workers=config.n_workers,
                 pool=self.pool,
                 track_members=track_members,
                 shared_memory=config.shared_memory,
                 tolerance=config.tolerance,
-                window=window.edge_window(),
+                window=window,
                 native_batch=config.native_batch,
+                mmap=config.mmap,
             )
-
-        return self._assemble(
-            run, sampling_timer.elapsed, detection_timer.elapsed, window.graph
+            return run, shard_plan
+        run = run_members(
+            source,
+            plans,
+            config.fdet,
+            mode=config.executor,
+            n_workers=config.n_workers,
+            pool=self.pool,
+            track_members=track_members,
+            shared_memory=config.shared_memory,
+            tolerance=config.tolerance,
+            window=window,
+            native_batch=config.native_batch,
+            mmap=config.mmap,
         )
+        return run, None
 
     def _resolve_track_members(self, track_members: bool | None) -> bool:
         if track_members is None:
@@ -329,12 +407,23 @@ class EnsemFDet:
         sampling_seconds: float,
         detection_seconds: float,
         graph: BipartiteGraph | None = None,
+        shard_plan: ShardPlan | None = None,
     ) -> EnsemFDetResult:
         config = self.config
         detections = _enforce_quorum(run, config)
         table = None
         if graph is not None and _batched.resolve_native_batch(config.native_batch):
-            counters = _batched.vote_counters(detections, graph)
+            counters = None
+            if shard_plan is not None:
+                # shard-wise tallies summed — exactly the global tally
+                # (integer votes); None falls through to the global paths
+                grouped = [
+                    [d for i in members if (d := run.detections[i]) is not None]
+                    for members in shard_plan.members
+                ]
+                counters = merge_shard_votes(grouped, graph)
+            if counters is None:
+                counters = _batched.vote_counters(detections, graph)
             if counters is not None:
                 table = VoteTable(
                     n_samples=len(detections),

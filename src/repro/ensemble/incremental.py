@@ -356,6 +356,9 @@ class IncrementalEnsemFDet:
                 shared_memory=config.shared_memory,
                 tolerance=config.tolerance,
                 native_batch=config.native_batch,
+                # updates refresh few members, so sharding would be pure
+                # overhead; the mmap transport still applies
+                mmap=config.mmap,
             )
 
         stale_indices = stale.tolist()
@@ -417,6 +420,7 @@ class IncrementalEnsemFDet:
                 tolerance=config.tolerance,
                 window=live.edge_window(),
                 native_batch=config.native_batch,
+                mmap=config.mmap,
             )
 
         stale_indices = stale.tolist()
@@ -539,6 +543,8 @@ class IncrementalEnsemFDet:
                 "n_workers": config.n_workers,
                 "track_appearances": config.track_appearances,
                 "shared_memory": config.shared_memory,
+                "shards": config.shards,
+                "mmap": config.mmap,
                 "tolerance": config.tolerance.as_dict(),
             },
             "sampler": {"ratio": sampler.ratio, "stripe": sampler.stripe},
@@ -578,6 +584,9 @@ class IncrementalEnsemFDet:
             track_appearances=ensemble["track_appearances"],
             # absent in states saved before the zero-copy fan-out refactor
             shared_memory=ensemble.get("shared_memory", True),
+            # absent in states saved before the sharded / out-of-core layer
+            shards=ensemble.get("shards", 1),
+            mmap=ensemble.get("mmap", False),
             # absent in states saved before the fault-tolerance layer
             tolerance=FaultTolerance.from_dict(ensemble.get("tolerance")),
         )

@@ -25,6 +25,13 @@ Persistence is crash-safe:
   configuration, the live-edge watermark/batch records, and each live
   edge's original append id, so a windowed detector resumes with stable
   stripe membership. v1/v2 archives (append-only, no window) still load.
+* **Compact dtypes** — format v4 stores index arrays (edge endpoints,
+  per-sample node lists, edge ids) as ``int32`` when their values fit, and
+  weights as ``float32`` when the ``float64`` round-trip is bit-exact —
+  storage-only narrowing, mirroring the
+  :class:`~repro.graph.GraphStore` dtype policy. Loaders upcast back to
+  ``int64``/``float64``, so results are unchanged; v1–v3 archives (all
+  wide) still load.
 * **Recovery** — :func:`load_detection_state_with_recovery` falls back to
   the ``.bak`` snapshot when the primary is corrupt or missing, which is
   what the ``watch``/``update`` CLI uses to resume after a crash.
@@ -43,6 +50,11 @@ import numpy as np
 from ..errors import DetectionError, StateChecksumError, StateError
 from ..faults import fault_point
 from ..graph import BipartiteGraph
+from ..graph.store import (
+    _narrow_index_column,
+    _narrow_value_column,
+    _narrow_weight_column,
+)
 from ..logging_utils import get_logger
 
 logger = get_logger("state")
@@ -57,11 +69,11 @@ __all__ = [
 ]
 
 #: bumped whenever the archive layout changes incompatibly
-STATE_FORMAT_VERSION = 3
+STATE_FORMAT_VERSION = 4
 
 #: older formats this build still reads
-#: (v1: no checksum manifest; v2: no window metadata)
-_LEGACY_FORMAT_VERSIONS = (1, 2)
+#: (v1: no checksum manifest; v2: no window metadata; v3: wide dtypes only)
+_LEGACY_FORMAT_VERSIONS = (1, 2, 3)
 
 
 @dataclass(frozen=True)
@@ -222,20 +234,23 @@ def save_detection_state(state: DetectionState, path: str | os.PathLike[str]) ->
             json.dumps(state.meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
         ),
         "graph_sizes": np.array([graph.n_users, graph.n_merchants], dtype=np.int64),
-        "edge_users": graph.edge_users,
-        "edge_merchants": graph.edge_merchants,
-        "user_labels": graph.user_labels,
-        "merchant_labels": graph.merchant_labels,
+        # storage-only narrowing (GraphStore dtype policy): loaders upcast
+        "edge_users": _narrow_index_column(graph.edge_users, graph.n_users),
+        "edge_merchants": _narrow_index_column(graph.edge_merchants, graph.n_merchants),
+        "user_labels": _narrow_value_column(graph.user_labels),
+        "merchant_labels": _narrow_value_column(graph.merchant_labels),
     }
     if graph.edge_weights is not None:
-        arrays["edge_weights"] = graph.edge_weights
+        arrays["edge_weights"] = _narrow_weight_column(graph.edge_weights)
     if state.window is not None:
         if state.edge_ids is None:
             raise StateError("windowed state requires edge_ids alongside window metadata")
         arrays["window_json"] = np.frombuffer(
             json.dumps(state.window, sort_keys=True).encode("utf-8"), dtype=np.uint8
         )
-        arrays["edge_ids"] = np.asarray(state.edge_ids, dtype=np.int64)
+        arrays["edge_ids"] = _narrow_value_column(
+            np.asarray(state.edge_ids, dtype=np.int64)
+        )
     for name, ragged in (
         ("detected_users", state.detected_users),
         ("detected_merchants", state.detected_merchants),
@@ -243,7 +258,7 @@ def save_detection_state(state: DetectionState, path: str | os.PathLike[str]) ->
         ("sample_merchants", state.sample_merchants),
     ):
         flat, offsets = _pack_ragged(ragged)
-        arrays[f"{name}_flat"] = flat
+        arrays[f"{name}_flat"] = _narrow_value_column(flat)
         arrays[f"{name}_offsets"] = offsets
     checksums = {name: _array_crc(array) for name, array in arrays.items()}
     arrays["checksums_json"] = np.frombuffer(

@@ -5,12 +5,17 @@ Two fan-out shapes live here:
 * :func:`detect_on_plans` — the **zero-copy** pipeline used by
   :class:`~repro.ensemble.EnsemFDet`. The parent keeps the graph in one
   frozen :class:`~repro.graph.GraphStore`; for the process backend the
-  store is exported to a shared-memory segment, workers attach **once per
-  process** (pool initializer for one-shot pools, a process-local cache
-  for :class:`~repro.parallel.ReusablePool` workers) and each compact
-  :class:`~repro.sampling.SamplePlan` is materialized worker-side through
-  the trusted constructor — zero graph bytes are pickled per ensemble
-  member, only the ~1%-sized plans. Serial and thread backends skip the
+  store is exported to a shared-memory segment (or, with ``mmap=True`` /
+  a file-backed store, spilled once to an mmap-able store file), workers
+  attach **once per process** (pool initializer for one-shot pools, a
+  process-local cache for :class:`~repro.parallel.ReusablePool` workers)
+  and each compact :class:`~repro.sampling.SamplePlan` is materialized
+  worker-side through the trusted constructor — zero graph bytes are
+  pickled per ensemble member, only the ~1%-sized plans and a ~100-byte
+  :class:`~repro.graph.StoreLayout` descriptor. A parent opened straight
+  from a store file (:meth:`GraphStore.open`) ships just its path+layout:
+  workers map the same file lazily, so out-of-core graphs never
+  materialize in any process. Serial and thread backends skip the
   segment and materialize against the in-process graph directly.
 * :func:`detect_on_samples` — the historical eager shape, mapping already
   materialized subgraphs. Kept for callers that hold real subgraphs (and
@@ -39,6 +44,9 @@ layer do; plain MVA does not).
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time as _time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -307,9 +315,11 @@ def _classify(error: BaseException) -> str:
         return FAIL_CRASH
     if isinstance(error, TimeoutError):
         return FAIL_TIMEOUT
-    if isinstance(error, GraphError) and "segment" in str(error):
+    if isinstance(error, GraphError) and ("segment" in str(error) or "store file" in str(error)):
         return FAIL_SHM
-    if isinstance(error, InjectedFault) and "shm.attach" in str(error):
+    if isinstance(error, InjectedFault) and (
+        "shm.attach" in str(error) or "mmap.open" in str(error)
+    ):
         return FAIL_SHM
     return FAIL_ERROR
 
@@ -431,14 +441,24 @@ def _run_pooled(
     tolerance: FaultTolerance,
     window: EdgeWindow | None = None,
     native_batch: bool = False,
-) -> tuple[dict[int, SampleDetection], dict[int, tuple[str, BaseException]], bool]:
-    """One thread/process attempt. Returns ``(results, failures, shm_used)``.
+    use_mmap: bool = False,
+    source_store: GraphStore | None = None,
+) -> tuple[dict[int, SampleDetection], dict[int, tuple[str, BaseException]], str]:
+    """One thread/process attempt. Returns ``(results, failures, transport)``.
 
-    The shared segment (process backend) is exported before the fan-out
-    and unlinked in the ``finally`` below no matter how the attempt ends —
-    worker crash, timeout kill, Ctrl-C — so ``/dev/shm`` can never
-    accumulate orphaned ``repro_gs_*`` entries. ``weakref.finalize`` on
-    the handle backstops even a failure inside this function.
+    ``transport`` names what actually carried the parent to the workers:
+    ``"file"`` (the parent is already a file-backed store — its path+layout
+    descriptor is shipped and workers map the same file), ``"mmap"`` (the
+    store was spilled once to a temporary store file), ``"shm"`` (shared
+    segment), ``"pickle"`` (the columnar store pickled per worker chunk)
+    or ``"local"`` (thread backend, no transport at all).
+
+    The shared segment / spill file (process backend) is created before
+    the fan-out and removed in the ``finally`` below no matter how the
+    attempt ends — worker crash, timeout kill, Ctrl-C — so ``/dev/shm``
+    and the spill dir can never accumulate orphans. ``weakref.finalize``
+    on the segment handle backstops even a failure inside this function
+    (on Linux the unlinked spill file stays valid for live worker maps).
     """
     process = backend == ExecutorMode.PROCESS
     workers = (
@@ -449,16 +469,39 @@ def _run_pooled(
 
     source: BipartiteGraph | GraphStore | StoreLayout = graph
     shared = None
+    spill_dir: str | None = None
     initializer = None
     initargs: tuple = ()
     plan_window = window
+    transport = "local"
     if process:
-        # the liveness columns ride inside the store/segment; workers
+        # the liveness columns ride inside the store/segment/file; workers
         # rebuild the EdgeWindow from the attached columns
-        store = GraphStore.from_graph(graph, window)
+        store = (
+            source_store
+            if source_store is not None
+            else GraphStore.from_graph(graph, window)
+        )
         source = store
         plan_window = None
-        if use_shm:
+        transport = "pickle"
+        if use_mmap and store.layout is not None and store.layout.kind == "file":
+            # already file-backed: ship only the path+layout descriptor
+            source = store.layout
+            initializer, initargs = _attach_worker, (store.layout,)
+            transport = "file"
+        elif use_mmap:
+            spill_dir = tempfile.mkdtemp(prefix="repro_gs_spill_")
+            try:
+                layout = store.save(os.path.join(spill_dir, "graph.store"))
+            except OSError:  # pragma: no cover - spill volume full/unwritable
+                shutil.rmtree(spill_dir, ignore_errors=True)
+                spill_dir = None
+            else:
+                source = layout
+                initializer, initargs = _attach_worker, (layout,)
+                transport = "mmap"
+        if transport == "pickle" and use_shm:
             try:
                 shared = store.export_shared()
             except OSError:  # pragma: no cover - no usable /dev/shm on this host
@@ -466,6 +509,7 @@ def _run_pooled(
             else:
                 source = shared.layout
                 initializer, initargs = _attach_worker, (shared.layout,)
+                transport = "shm"
 
     own_executor = None
     borrowed_pool = pool is not None and pool.mode == backend
@@ -521,16 +565,18 @@ def _run_pooled(
         broken = timed_out or any(kind == FAIL_CRASH for kind, _ in failures.values())
         if broken and borrowed_pool:
             pool.respawn()
-        return results, failures, shared is not None
+        return results, failures, transport
     finally:
         if own_executor is not None:
             own_executor.shutdown(wait=False, cancel_futures=True)
         if shared is not None:
             shared.dispose()
+        if spill_dir is not None:
+            shutil.rmtree(spill_dir, ignore_errors=True)
 
 
 def run_members(
-    graph: BipartiteGraph,
+    graph: BipartiteGraph | GraphStore,
     plans: Sequence[SamplePlan],
     config: FdetConfig,
     mode: str = ExecutorMode.SERIAL,
@@ -542,6 +588,7 @@ def run_members(
     tolerance: FaultTolerance | None = None,
     window: EdgeWindow | None = None,
     native_batch: bool | None = None,
+    mmap: bool = False,
 ) -> MemberRun:
     """Fault-tolerant fan-out: every plan either detects or fails *typed*.
 
@@ -552,10 +599,22 @@ def run_members(
     round additionally disables batching for the remaining retries, the
     way shm failures disable the shared segment.
 
+    ``graph`` may be a :class:`~repro.graph.GraphStore` instead of a
+    graph — in particular one opened straight from a store file
+    (:meth:`GraphStore.open`), whose windowed columns (if any) become the
+    liveness overlay automatically. Process fan-outs then ship only the
+    path+layout descriptor: workers map the same file lazily and the
+    parent columns never materialize anywhere. ``mmap=True`` requests the
+    same file transport for a resident parent by spilling the (compacted)
+    store to a temporary file once per attempt instead of exporting a
+    shared segment. Either file transport degrades to the pickled store
+    after an ``mmap.open``/attach failure, exactly like shm does.
+
     With ``window`` set, ``graph`` is the full stored graph of a rolling
     window and every member materializes through the liveness overlay
     (see :func:`repro.sampling.materialize_plan`); the overlay travels
-    through the shared segment / pickled store on process backends.
+    through the shared segment / store file / pickled store on process
+    backends.
 
     The engine behind :func:`detect_on_plans` and
     :meth:`~repro.ensemble.EnsemFDet.fit`. Runs all members on the
@@ -574,11 +633,35 @@ def run_members(
     if not plans:
         return MemberRun(detections=detections, failures=(), retry_log=())
 
+    source_store: GraphStore | None = None
+    if isinstance(graph, GraphStore):
+        store = graph
+        own_window = store.edge_window()
+        if window is None:
+            window = own_window
+        if (
+            own_window is None
+            or window is own_window
+            or (window.alive is own_window.alive and window.edge_ids is own_window.edge_ids)
+        ):
+            # the store carries exactly the overlay being used, so process
+            # attempts can ship it (or its file layout) as-is
+            source_store = store
+        graph = store.to_graph()
+
     pending = list(range(len(plans)))
     fail_info: dict[int, tuple[str, BaseException]] = {}
     attempts_of: dict[int, int] = {}
     retry_log: list[dict] = []
     use_shm = shared_memory
+    # a file-backed parent defaults to the file transport even without
+    # mmap=True: its bytes are already on disk, re-exporting them would
+    # defeat the point of opening out-of-core
+    use_mmap = mmap or (
+        source_store is not None
+        and source_store.layout is not None
+        and source_store.layout.kind == "file"
+    )
     use_batch = _batched.resolve_native_batch(native_batch)
 
     for attempt in range(tolerance.max_retries + 1):
@@ -602,10 +685,10 @@ def run_members(
             results, failures = _run_serial(
                 graph, work, config, track_members, attempt, window, use_batch
             )
-            shm_used = False
+            transport = "local"
         else:
             attempt_pool = pool if (pool is not None and pool.mode == backend) else None
-            results, failures, shm_used = _run_pooled(
+            results, failures, transport = _run_pooled(
                 graph,
                 work,
                 config,
@@ -618,6 +701,8 @@ def run_members(
                 tolerance,
                 window,
                 use_batch,
+                use_mmap,
+                source_store,
             )
 
         for index, detection in results.items():
@@ -627,7 +712,8 @@ def run_members(
             {
                 "attempt": attempt,
                 "backend": ExecutorMode.SERIAL if in_parent else backend,
-                "shared_memory": shm_used,
+                "shared_memory": transport == "shm",
+                "transport": transport,
                 "native_batch": bool(use_batch),
                 "members": [int(i) for i in pending],
                 "failed": [int(i) for i in failed],
@@ -636,8 +722,10 @@ def run_members(
         )
         fail_info.update(failures)
         if any(kind == FAIL_SHM for kind, _ in failures.values()):
-            # the segment transport itself is suspect — pickled store next
+            # the zero-copy transport itself is suspect (segment attach or
+            # file map failed) — pickled store next
             use_shm = False
+            use_mmap = False
         if use_batch and any(kind == FAIL_CRASH for kind, _ in failures.values()):
             # a dead worker may mean the native batch itself crashed —
             # retries degrade to the per-member path, like shm degrades
@@ -694,7 +782,7 @@ def _raise_first_failure(run: MemberRun) -> None:
 
 
 def detect_on_plans(
-    graph: BipartiteGraph,
+    graph: BipartiteGraph | GraphStore,
     plans: Sequence[SamplePlan],
     config: FdetConfig,
     mode: str = ExecutorMode.SERIAL,
@@ -706,6 +794,7 @@ def detect_on_plans(
     tolerance: FaultTolerance | None = None,
     window: EdgeWindow | None = None,
     native_batch: bool | None = None,
+    mmap: bool = False,
 ) -> list[SampleDetection]:
     """Materialize every plan against ``graph`` and run FDET on it.
 
@@ -742,6 +831,12 @@ def detect_on_plans(
     native_batch:
         Batched native backend switch (``None`` = ``REPRO_NATIVE_BATCH``,
         default on); see :func:`run_members`.
+    mmap:
+        For process backends, ship the parent as an mmap-able store file
+        (a path+layout descriptor) instead of a shared segment — the
+        out-of-core transport. A ``graph`` that is already a file-backed
+        :class:`~repro.graph.GraphStore` uses this transport implicitly;
+        see :func:`run_members`.
     """
     run = run_members(
         graph,
@@ -756,6 +851,7 @@ def detect_on_plans(
         tolerance=tolerance or FaultTolerance.strict(),
         window=window,
         native_batch=native_batch,
+        mmap=mmap,
     )
     _raise_first_failure(run)
     return [detection for detection in run.detections if detection is not None]

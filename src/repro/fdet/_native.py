@@ -207,6 +207,10 @@ def _configure(lib: ctypes.CDLL) -> NativeKernels:
     i64_array = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
     f64_array = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
     u8_array = np.ctypeslib.ndpointer(np.uint8, flags="C_CONTIGUOUS")
+    # parent columns may be compact (int32/float32) storage — including
+    # read-only mmap views — so the pointer is dtype-agnostic; the kernel
+    # widens each load per the explicit *_width arguments
+    any_array = np.ctypeslib.ndpointer(flags="C_CONTIGUOUS")
 
     peel = lib.repro_greedy_peel
     peel.argtypes = [
@@ -227,10 +231,12 @@ def _configure(lib: ctypes.CDLL) -> NativeKernels:
     batch.argtypes = [
         ctypes.c_int64,  # pn_users
         ctypes.c_int64,  # pn_merchants
-        i64_array,  # p_eu
-        i64_array,  # p_em
-        f64_array,  # p_w (dummy array when unweighted)
+        any_array,  # p_eu (int32 or int64 storage)
+        any_array,  # p_em
+        ctypes.c_int64,  # idx_width (4 or 8)
+        any_array,  # p_w (float32/float64; dummy array when unweighted)
         ctypes.c_int64,  # has_weights
+        ctypes.c_int64,  # w_width (4 or 8)
         f64_array,  # weight_table
         ctypes.c_int64,  # n_members
         i64_array,  # edge_ids (concatenated)

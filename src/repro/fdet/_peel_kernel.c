@@ -404,13 +404,31 @@ int64_t repro_greedy_peel(
 /* batched multi-member FDET                                           */
 /* ------------------------------------------------------------------ */
 
+/* The parent columns arrive in their *storage* dtype (compact stores keep
+ * int32 ids / float32 weights on disk and in shm) and are widened at the
+ * single load site: int32 -> int64 is exact, and (double)w32 reproduces the
+ * float64 value exactly because compaction only narrows weights whose
+ * round-trip is bit-exact. Everything downstream of these loads is
+ * int64/double, so compact and wide parents peel bitwise-identically. */
+static inline int64_t load_idx(const void *p, int64_t width, int64_t i)
+{
+    return width == 4 ? (int64_t)((const int32_t *)p)[i] : ((const int64_t *)p)[i];
+}
+
+static inline double load_w(const void *p, int64_t width, int64_t i)
+{
+    return width == 4 ? (double)((const float *)p)[i] : ((const double *)p)[i];
+}
+
 typedef struct {
     /* parent graph (read-only, shared across members) */
     int64_t pn_users;
     int64_t pn_merchants;
-    const int64_t *p_eu;
-    const int64_t *p_em;
-    const double *p_w; /* NULL when the parent is unweighted */
+    const void *p_eu;  /* int32 or int64 per idx_width */
+    const void *p_em;
+    int64_t idx_width; /* endpoint itemsize in bytes: 4 or 8 */
+    const void *p_w;   /* float or double per w_width; NULL when unweighted */
+    int64_t w_width;   /* weight itemsize in bytes: 4 or 8 */
     const double *weight_table; /* merchant degree -> edge multiplier */
     /* member descriptions */
     const int64_t *edge_ids;
@@ -475,8 +493,8 @@ static void run_member(const batch_args_t *a, int64_t m)
         goto alloc_failed;
 
     for (int64_t i = 0; i < me; i++) {
-        present_u[a->p_eu[ids[i]]] = 1;
-        present_m[a->p_em[ids[i]]] = 1;
+        present_u[load_idx(a->p_eu, a->idx_width, ids[i])] = 1;
+        present_m[load_idx(a->p_em, a->idx_width, ids[i])] = 1;
     }
     int64_t nu = 0, nm = 0;
     {
@@ -497,10 +515,10 @@ static void run_member(const batch_args_t *a, int64_t m)
     a->out_nm[m] = nm;
     for (int64_t i = 0; i < me; i++) {
         int64_t e = ids[i];
-        mu[i] = remap_u[a->p_eu[e]];
-        mm[i] = remap_m[a->p_em[e]];
+        mu[i] = remap_u[load_idx(a->p_eu, a->idx_width, e)];
+        mm[i] = remap_m[load_idx(a->p_em, a->idx_width, e)];
         /* weights_or_ones() * weight_scale; x * 1.0 is an exact identity */
-        mw[i] = (a->p_w ? a->p_w[e] : 1.0) * scale;
+        mw[i] = (a->p_w ? load_w(a->p_w, a->w_width, e) : 1.0) * scale;
     }
     free(present_u);
     free(present_m);
@@ -712,10 +730,12 @@ cleanup:
 int64_t repro_fdet_batch(
     int64_t pn_users,
     int64_t pn_merchants,
-    const int64_t *p_eu,
-    const int64_t *p_em,
-    const double *p_w,
+    const void *p_eu,
+    const void *p_em,
+    int64_t idx_width,
+    const void *p_w,
     int64_t has_weights,
+    int64_t w_width,
     const double *weight_table,
     int64_t n_members,
     const int64_t *edge_ids,
@@ -744,7 +764,9 @@ int64_t repro_fdet_batch(
     args.pn_merchants = pn_merchants;
     args.p_eu = p_eu;
     args.p_em = p_em;
+    args.idx_width = idx_width;
     args.p_w = has_weights ? p_w : NULL;
+    args.w_width = w_width;
     args.weight_table = weight_table;
     args.edge_ids = edge_ids;
     args.edge_off = edge_off;

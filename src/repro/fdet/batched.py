@@ -205,14 +205,28 @@ def detect_many(
 
     n_members = len(plans)
     max_blocks = config.max_blocks
-    p_eu = np.ascontiguousarray(graph.edge_users, dtype=np.int64)
-    p_em = np.ascontiguousarray(graph.edge_merchants, dtype=np.int64)
+    # compact (int32/float32) parent columns — including read-only mmap
+    # views — cross the ABI in their storage dtype; the kernel widens each
+    # load, so no resident int64/float64 copy of the parent is ever built
+    if graph.edge_users.dtype == graph.edge_merchants.dtype and graph.edge_users.dtype in (
+        np.dtype(np.int32),
+        np.dtype(np.int64),
+    ):
+        p_eu = np.ascontiguousarray(graph.edge_users)
+        p_em = np.ascontiguousarray(graph.edge_merchants)
+    else:
+        p_eu = np.ascontiguousarray(graph.edge_users, dtype=np.int64)
+        p_em = np.ascontiguousarray(graph.edge_merchants, dtype=np.int64)
+    idx_width = p_eu.dtype.itemsize
     has_weights = graph.edge_weights is not None
-    p_w = (
-        np.ascontiguousarray(graph.edge_weights, dtype=np.float64)
-        if has_weights
-        else _DUMMY_F64
-    )
+    if has_weights:
+        if graph.edge_weights.dtype in (np.dtype(np.float32), np.dtype(np.float64)):
+            p_w = np.ascontiguousarray(graph.edge_weights)
+        else:
+            p_w = np.ascontiguousarray(graph.edge_weights, dtype=np.float64)
+    else:
+        p_w = _DUMMY_F64
+    w_width = p_w.dtype.itemsize
     weight_table = _weight_table(config.metric, graph)
 
     ids_list = [plan_edge_ids(plan, graph.n_edges, window) for plan in plans]
@@ -256,8 +270,10 @@ def detect_many(
         graph.n_merchants,
         p_eu,
         p_em,
+        idx_width,
         p_w,
         int(has_weights),
+        w_width,
         weight_table,
         n_members,
         edge_ids,

@@ -15,7 +15,15 @@ from .io import (
     save_npz,
 )
 from .projections import co_purchase_counts, project_merchants, project_users
-from .store import GraphStore, SharedGraphStore, StoreLayout, attached_store, detach_all
+from .store import (
+    GraphStore,
+    SharedGraphStore,
+    StoreFileWriter,
+    StoreLayout,
+    attached_store,
+    detach_all,
+    read_file_layout,
+)
 from .stats import GraphStats, degree_gini, degree_histogram, describe, edge_density
 from .validation import assert_subgraph_of, has_duplicate_edges, validate_graph
 from .window import EdgeWindow, LiveWindow, WindowConfig
@@ -24,9 +32,11 @@ __all__ = [
     "BipartiteGraph",
     "GraphStore",
     "SharedGraphStore",
+    "StoreFileWriter",
     "StoreLayout",
     "attached_store",
     "detach_all",
+    "read_file_layout",
     "GraphBuilder",
     "BuiltGraph",
     "GraphAccumulator",

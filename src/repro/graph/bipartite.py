@@ -163,14 +163,22 @@ class BipartiteGraph:
         return self.edge_weights is not None
 
     def weights_or_ones(self) -> np.ndarray:
-        """Edge weights, or a cached all-ones array when unweighted.
+        """float64 edge weights, or a cached all-ones array when unweighted.
 
         The unweighted fallback is materialised once per instance (FDET hits
-        this once per block per sample). Callers must treat the returned
-        array as read-only.
+        this once per block per sample), and so is the float64 upcast of
+        compact float32 storage weights — all weight *arithmetic* happens in
+        float64 regardless of the storage dtype, which is what keeps compact
+        and wide stores bitwise-identical (float32 storage is only ever used
+        when the float64 round-trip is exact). Callers must treat the
+        returned array as read-only.
         """
         if self.edge_weights is not None:
-            return self.edge_weights
+            if self.edge_weights.dtype == np.float64:
+                return self.edge_weights
+            if self._ones is None:  # unused for weighted graphs: cache the upcast
+                self._ones = self.edge_weights.astype(np.float64)
+            return self._ones
         if self._ones is None:
             self._ones = np.ones(self.n_edges, dtype=np.float64)
         return self._ones
@@ -335,7 +343,8 @@ class BipartiteGraph:
         kept_merchants, new_merchants = np.unique(sub_merchants, return_inverse=True)
         weights = None
         if self.edge_weights is not None:
-            weights = self.edge_weights[edge_indices]
+            # gathers upcast compact float32 storage: all arithmetic is float64
+            weights = self.edge_weights[edge_indices].astype(np.float64, copy=False)
         return BipartiteGraph._from_trusted(
             n_users=int(kept_users.size),
             n_merchants=int(kept_merchants.size),
@@ -383,7 +392,7 @@ class BipartiteGraph:
         merchant_remap[kept_merchants] = np.arange(kept_merchants.size)
         weights = None
         if self.edge_weights is not None:
-            weights = self.edge_weights[edge_indices]
+            weights = self.edge_weights[edge_indices].astype(np.float64, copy=False)
         return BipartiteGraph._from_trusted(
             n_users=int(kept_users.size),
             n_merchants=int(kept_merchants.size),
@@ -405,7 +414,7 @@ class BipartiteGraph:
         mask[edge_indices] = False
         weights = None
         if self.edge_weights is not None:
-            weights = self.edge_weights[mask]
+            weights = self.edge_weights[mask].astype(np.float64, copy=False)
         return BipartiteGraph._from_trusted(
             n_users=self.n_users,
             n_merchants=self.n_merchants,

@@ -1,6 +1,6 @@
 """Structural sampling methods for bipartite graphs (paper §IV-A)."""
 
-from .base import SamplePlan, Sampler, check_ratio, materialize_plan, resolve_rng
+from .base import SamplePlan, Sampler, check_ratio, compact_indices, materialize_plan, resolve_rng
 from .one_side import OneSideNodeSampler, Side, recommend_side
 from .random_edge import RandomEdgeSampler
 from .registry import PAPER_FIG5_NAMES, available_samplers, make_sampler
@@ -18,6 +18,7 @@ __all__ = [
     "Sampler",
     "SamplePlan",
     "check_ratio",
+    "compact_indices",
     "materialize_plan",
     "resolve_rng",
     "RandomEdgeSampler",

@@ -1,0 +1,87 @@
+"""Chunked synthetic emitters and the streaming store writer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    chung_lu_edge_chunks,
+    uniform_edge_chunks,
+    write_store,
+)
+from repro.errors import DatasetError
+from repro.graph import GraphStore, read_file_layout
+
+
+class TestEmitters:
+    @pytest.mark.parametrize("emit", [uniform_edge_chunks, chung_lu_edge_chunks])
+    def test_chunks_cover_exact_edge_count(self, emit):
+        chunks = list(emit(100, 40, 2500, rng=0, chunk=512))
+        assert sum(c[0].size for c in chunks) == 2500
+        assert all(c[0].size == c[1].size for c in chunks)
+        # all but the last chunk are full
+        assert [c[0].size for c in chunks[:-1]] == [512] * (len(chunks) - 1)
+
+    @pytest.mark.parametrize("emit", [uniform_edge_chunks, chung_lu_edge_chunks])
+    def test_endpoints_in_range(self, emit):
+        for users, merchants, weights in emit(64, 16, 5000, rng=1, chunk=1024):
+            assert users.min() >= 0 and users.max() < 64
+            assert merchants.min() >= 0 and merchants.max() < 16
+            assert weights is None
+
+    def test_deterministic_for_seed(self):
+        a = list(chung_lu_edge_chunks(100, 50, 3000, rng=3, chunk=700, weighted=True))
+        b = list(chung_lu_edge_chunks(100, 50, 3000, rng=3, chunk=700, weighted=True))
+        for (ua, ma, wa), (ub, mb, wb) in zip(a, b):
+            assert np.array_equal(ua, ub)
+            assert np.array_equal(ma, mb)
+            assert np.array_equal(wa, wb)
+
+    def test_weights_are_float32_exact(self):
+        for _, _, weights in uniform_edge_chunks(
+            10, 10, 2000, rng=2, chunk=512, weighted=True
+        ):
+            assert np.array_equal(weights.astype(np.float32).astype(np.float64), weights)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(DatasetError):
+            next(uniform_edge_chunks(0, 10, 100))
+        with pytest.raises(DatasetError):
+            next(uniform_edge_chunks(10, 10, -1))
+        with pytest.raises(DatasetError):
+            next(uniform_edge_chunks(10, 10, 100, chunk=0))
+
+    def test_zero_edges_yields_nothing(self):
+        assert list(uniform_edge_chunks(5, 5, 0)) == []
+
+
+class TestWriteStore:
+    def test_writes_compact_openable_store(self, tmp_path):
+        path = tmp_path / "s.store"
+        layout = write_store(path, 5_000, 800, 40_000, rng=6, chunk=1 << 12, weighted=True)
+        assert layout.id_dtype == "int32"
+        assert layout.weight_dtype == "float32"
+        assert read_file_layout(path).n_edges == 40_000
+        store = GraphStore.open(path, mmap=True)
+        assert store.n_edges == 40_000
+        assert int(store.edge_users.max()) < 5_000
+        assert store.edge_weights.dtype == np.float32
+
+    def test_uniform_kind(self, tmp_path):
+        path = tmp_path / "u.store"
+        write_store(path, 100, 50, 1_000, kind="uniform", rng=0)
+        assert GraphStore.open(path).n_edges == 1_000
+
+    def test_rejects_unknown_kind(self, tmp_path):
+        with pytest.raises(DatasetError, match="unknown stream emitter"):
+            write_store(tmp_path / "x.store", 10, 10, 10, kind="zipf")
+
+    def test_matches_emitter_output(self, tmp_path):
+        path = tmp_path / "m.store"
+        write_store(path, 200, 80, 5_000, rng=9, chunk=512)
+        users = np.concatenate(
+            [c[0] for c in chung_lu_edge_chunks(200, 80, 5_000, rng=9, chunk=512)]
+        )
+        store = GraphStore.open(path)
+        assert np.array_equal(np.asarray(store.edge_users, dtype=np.int64), users)

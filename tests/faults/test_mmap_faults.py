@@ -1,0 +1,65 @@
+"""The out-of-core transport degrades like shared memory: an injected
+``mmap.open`` failure falls back to the pickled store, bitwise-identically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import uniform_bipartite
+from repro.ensemble import EnsemFDet, EnsemFDetConfig
+from repro.faults import arm, disarm
+from repro.faults.chaos import leaked_segments
+from repro.fdet import FdetConfig
+from repro.parallel import FaultTolerance, ReusablePool
+from repro.sampling import RandomEdgeSampler
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    disarm()
+    yield
+    disarm()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_bipartite(60, 30, 300, rng=0)
+
+
+def _config(executor="serial", n_workers=None, mmap=False, **tolerance_kwargs):
+    return EnsemFDetConfig(
+        sampler=RandomEdgeSampler(0.4),
+        n_samples=6,
+        fdet=FdetConfig(max_blocks=6),
+        executor=executor,
+        n_workers=n_workers,
+        seed=3,
+        mmap=mmap,
+        tolerance=FaultTolerance(**tolerance_kwargs),
+    )
+
+
+def _tables_equal(a, b) -> bool:
+    return (
+        a.n_samples == b.n_samples
+        and dict(a.user_votes) == dict(b.user_votes)
+        and dict(a.merchant_votes) == dict(b.merchant_votes)
+    )
+
+
+def test_mmap_open_failure_falls_back_to_pickled_store(graph):
+    reference = EnsemFDet(_config()).fit(graph)
+    arm("raise:point=mmap.open")
+    with ReusablePool(mode="process", n_workers=2) as pool:
+        result = EnsemFDet(
+            _config(executor="process", n_workers=2, mmap=True, degrade=False),
+            pool=pool,
+        ).fit(graph)
+    assert not result.failed_members
+    assert _tables_equal(result.vote_table, reference.vote_table)
+    # first attempt went out over the spilled store file…
+    assert result.retry_log[0]["transport"] == "mmap"
+    assert "shm" in result.retry_log[0]["kinds"].values()
+    # …and the retry abandoned both zero-copy transports
+    assert result.retry_log[1]["transport"] == "pickle"
+    assert leaked_segments() == []
